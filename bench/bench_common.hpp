@@ -1,0 +1,70 @@
+// Shared helpers for the per-table benchmark binaries: build the rcsim
+// workload for each case-study design and produce the paper-style
+// worksheet with predicted and simulated-actual columns.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "apps/hw_run.hpp"
+#include "apps/md.hpp"
+#include "apps/pdf1d.hpp"
+#include "apps/pdf2d.hpp"
+#include "apps/workload.hpp"
+#include "core/throughput.hpp"
+#include "core/units.hpp"
+#include "core/validation.hpp"
+#include "core/worksheet.hpp"
+#include "rcsim/platform.hpp"
+
+namespace rat::bench {
+
+inline rcsim::Workload pdf1d_workload(const apps::Pdf1dDesign& d) {
+  rcsim::Workload w;
+  w.n_iterations = d.rat_inputs().software.n_iterations;
+  w.io = [d, n = w.n_iterations](std::size_t i) { return d.io(i, n); };
+  w.cycles = [c = d.cycles_per_iteration()](std::size_t) { return c; };
+  return w;
+}
+
+inline rcsim::Workload pdf2d_workload(const apps::Pdf2dDesign& d) {
+  rcsim::Workload w;
+  w.n_iterations = d.rat_inputs().software.n_iterations;
+  w.io = [d, n = w.n_iterations](std::size_t i) { return d.io(i, n); };
+  w.cycles = [c = d.cycles_per_iteration()](std::size_t) { return c; };
+  return w;
+}
+
+inline rcsim::Workload md_workload(const apps::MdDesign& d,
+                                   std::uint64_t cycles,
+                                   std::size_t n_molecules) {
+  rcsim::Workload w;
+  w.n_iterations = 1;
+  w.io = [d, n_molecules](std::size_t) { return d.io(n_molecules); };
+  w.cycles = [cycles](std::size_t) { return cycles; };
+  return w;
+}
+
+/// Print a full worksheet (inputs + predicted columns + simulated actual)
+/// for one case study, in the layout of paper Tables 2+3 / 5+6 / 8+9.
+inline void print_case_study(const std::string& title,
+                             const core::RatInputs& inputs,
+                             const rcsim::Workload& workload,
+                             const rcsim::Platform& platform,
+                             double actual_clock_hz) {
+  const auto run = apps::simulate_on_platform(
+      workload, platform, actual_clock_hz, rcsim::Buffering::kSingle,
+      inputs.software.tsoft_sec);
+  std::printf("==== %s (platform: %s) ====\n\n", title.c_str(),
+              platform.name.c_str());
+  std::printf("%s\n", core::render_worksheet(
+                          inputs, {run.measured},
+                          core::WorksheetMode::kSingleBuffered)
+                          .c_str());
+  const auto pred = core::predict(inputs, actual_clock_hz);
+  const auto rep = core::validate(pred, run.measured);
+  std::printf("Prediction error at %.0f MHz (simulated actual):\n%s\n",
+              core::to_mhz(actual_clock_hz), rep.to_table().to_ascii().c_str());
+}
+
+}  // namespace rat::bench

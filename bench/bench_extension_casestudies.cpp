@@ -1,0 +1,262 @@
+// Extension case studies: the paper's other two "element" domains (§3.1 —
+// "a value in an array to be sorted ... or a single character in a
+// string-matching algorithm") run through the complete RAT flow: measured
+// tsoft, derived worksheet, throughput prediction, simulated platform
+// measurement and validation. Demonstrates the methodology's generality
+// beyond the paper's own three case studies.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "apps/convolution.hpp"
+#include "apps/hw_run.hpp"
+#include "util/format.hpp"
+#include "apps/sorting.hpp"
+#include "apps/strmatch.hpp"
+#include "core/streaming.hpp"
+#include "core/units.hpp"
+#include "core/validation.hpp"
+#include "core/worksheet.hpp"
+#include "rcsim/microbench.hpp"
+#include "rcsim/platform.hpp"
+
+namespace {
+
+using namespace rat;
+
+apps::StrMatchConfig strmatch_cfg() {
+  apps::StrMatchConfig c;
+  c.patterns = {"reconfig", "fpga", "amenability", "throughput"};
+  c.chunk = 65536;
+  return c;
+}
+
+apps::SortConfig sort_cfg() {
+  apps::SortConfig c;
+  c.block = 1024;
+  c.comparators = 64;
+  return c;
+}
+
+void BM_StrMatch_ShiftOr(benchmark::State& state) {
+  const auto cfg = strmatch_cfg();
+  static const std::string text = apps::random_text(1 << 20, cfg, 1e-4, 42);
+  for (auto _ : state) {
+    auto counts = apps::count_matches_shift_or(text, cfg);
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_StrMatch_ShiftOr);
+
+void BM_StrMatch_SystolicModel(benchmark::State& state) {
+  const auto cfg = strmatch_cfg();
+  const apps::StrMatchDesign design(cfg);
+  static const std::string text = apps::random_text(1 << 18, cfg, 1e-4, 43);
+  for (auto _ : state) {
+    auto counts = design.count_matches(text);
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_StrMatch_SystolicModel);
+
+void BM_StrMatch_AhoCorasick(benchmark::State& state) {
+  const auto cfg = strmatch_cfg();
+  const apps::AhoCorasick ac(cfg);
+  static const std::string text = apps::random_text(1 << 20, cfg, 1e-4, 42);
+  for (auto _ : state) {
+    auto counts = ac.count_matches(text);
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_StrMatch_AhoCorasick);
+
+void BM_Sort_HybridVsStd(benchmark::State& state) {
+  static const auto keys = apps::random_keys(1 << 18, 44);
+  const auto cfg = sort_cfg();
+  for (auto _ : state) {
+    auto sorted = apps::hybrid_sort(keys, cfg);
+    benchmark::DoNotOptimize(sorted);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_Sort_HybridVsStd);
+
+template <typename F>
+double time_once(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void report_strmatch() {
+  const auto cfg = strmatch_cfg();
+  const apps::StrMatchDesign design(cfg);
+  const std::size_t total_chars = 64u << 20;  // 64 MB of text
+  const std::size_t iters = total_chars / cfg.chunk;
+
+  // tsoft: shift-or over a representative slice, scaled to the full text.
+  const std::string slice = apps::random_text(4u << 20, cfg, 1e-4, 45);
+  const double t_slice = time_once([&] {
+    auto counts = apps::count_matches_shift_or(slice, cfg);
+    benchmark::DoNotOptimize(counts);
+  });
+  const double tsoft =
+      t_slice * static_cast<double>(total_chars) /
+      static_cast<double>(slice.size());
+
+  const auto platform = rcsim::nallatech_h101();
+  rcsim::Microbench mb(platform.link);
+  const auto alphas = mb.derive_alphas(cfg.chunk);
+  const auto in = design.rat_inputs(
+      tsoft, iters,
+      core::CommunicationParams{platform.link.documented_bw(),
+                                alphas.alpha_write, alphas.alpha_read});
+
+  rcsim::Workload w;
+  w.n_iterations = iters;
+  w.io = [&](std::size_t) { return design.io(); };
+  w.cycles = [&](std::size_t) { return design.cycles_per_iteration(); };
+  const auto run = apps::simulate_on_platform(
+      w, platform, core::mhz(150), rcsim::Buffering::kDouble, tsoft);
+
+  std::printf("==== String matching, %zu patterns, %s of text ====\n\n",
+              cfg.patterns.size(),
+              util::bytes(static_cast<double>(total_chars)).c_str());
+  std::printf("%s\n",
+              core::render_worksheet(in, {run.measured},
+                                     core::WorksheetMode::kDoubleBuffered)
+                  .c_str());
+  const auto stream = core::predict_streaming(in, core::mhz(150));
+  std::printf("streaming: %.0f Mchar/s sustained (bottleneck: %s) — a "
+              "systolic matcher is I/O-limited,\nso RAT flags the modest "
+              "speedup before any HDL is written.\n\n",
+              stream.sustained_rate / 1e6,
+              stream.bottleneck == core::StreamBottleneck::kInput
+                  ? "input channel"
+                  : "compute");
+}
+
+void report_sorting() {
+  const auto cfg = sort_cfg();
+  const apps::SortDesign design(cfg);
+  const std::size_t total_keys = 16u << 20;
+  const std::size_t iters = total_keys / cfg.block;
+
+  const auto keys = apps::random_keys(1u << 20, 46);
+  const double t_slice = time_once([&] {
+    auto data = keys;
+    apps::merge_sort(data);
+    benchmark::DoNotOptimize(data);
+  });
+  // n log n scaling from the slice to the full dataset.
+  const double scale =
+      (static_cast<double>(total_keys) * std::log2(total_keys)) /
+      (static_cast<double>(keys.size()) * std::log2(keys.size()));
+  const double tsoft = t_slice * scale;
+
+  const auto platform = rcsim::nallatech_h101();
+  rcsim::Microbench mb(platform.link);
+  const auto alphas = mb.derive_alphas(cfg.block * 4);
+  const auto in = design.rat_inputs(
+      tsoft, iters,
+      core::CommunicationParams{platform.link.documented_bw(),
+                                alphas.alpha_write, alphas.alpha_read});
+
+  rcsim::Workload w;
+  w.n_iterations = iters;
+  w.io = [&](std::size_t) { return design.io(); };
+  w.cycles = [&](std::size_t) { return design.cycles_per_iteration(); };
+  const auto run = apps::simulate_on_platform(
+      w, platform, core::mhz(150), rcsim::Buffering::kDouble, tsoft);
+
+  std::printf("==== Block sorting, %zu keys in %zu-element blocks ====\n\n",
+              total_keys, cfg.block);
+  std::printf("%s\n",
+              core::render_worksheet(in, {run.measured},
+                                     core::WorksheetMode::kDoubleBuffered)
+                  .c_str());
+  std::printf("note: the worksheet covers the FPGA block-sort phase; the "
+              "host-side merge\n(done while the FPGA streams the next "
+              "blocks) is the composition model's job.\n");
+}
+
+void BM_Conv_Software5x5(benchmark::State& state) {
+  apps::ConvConfig cfg;
+  cfg.width = 256;
+  cfg.height = 256;
+  static const auto img = apps::synthetic_frame(cfg, 47);
+  static const auto kernel = apps::gaussian_kernel(5);
+  for (auto _ : state) {
+    auto out = apps::convolve2d(img, kernel, cfg);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cfg.pixels()));
+}
+BENCHMARK(BM_Conv_Software5x5);
+
+void report_convolution() {
+  apps::ConvConfig cfg;  // 1024x1024, 5x5
+  const apps::ConvDesign design(cfg);
+  const std::size_t frames = 30;
+
+  // tsoft: one frame measured directly, scaled to the batch.
+  const auto img = apps::synthetic_frame(cfg, 48);
+  const auto kernel = apps::gaussian_kernel(cfg.kernel_size);
+  const double t_frame = time_once([&] {
+    auto out = apps::convolve2d(img, kernel, cfg);
+    benchmark::DoNotOptimize(out);
+  });
+  const double tsoft = t_frame * static_cast<double>(frames);
+
+  const auto platform = rcsim::nallatech_h101();
+  rcsim::Microbench mb(platform.link);
+  const auto alphas = mb.derive_alphas(static_cast<std::size_t>(
+      static_cast<double>(cfg.pixels()) * cfg.bytes_per_pixel));
+  const auto in = design.rat_inputs(
+      tsoft, frames,
+      core::CommunicationParams{platform.link.documented_bw(),
+                                alphas.alpha_write, alphas.alpha_read});
+
+  rcsim::Workload w;
+  w.n_iterations = frames;
+  w.io = [&](std::size_t) { return design.io(); };
+  w.cycles = [&](std::size_t) { return design.cycles_per_iteration(); };
+  const auto run = apps::simulate_on_platform(
+      w, platform, core::mhz(150), rcsim::Buffering::kDouble, tsoft);
+
+  std::printf("==== 2-D convolution, %zu frames of %zux%zu, %zux%zu window "
+              "====\n\n",
+              frames, cfg.width, cfg.height, cfg.kernel_size,
+              cfg.kernel_size);
+  std::printf("%s\n",
+              core::render_worksheet(in, {run.measured},
+                                     core::WorksheetMode::kDoubleBuffered)
+                  .c_str());
+  std::printf("The fully deterministic 1-pixel/cycle window makes this the\n"
+              "best-predicted worksheet of all the case studies — the\n"
+              "calibration point the methodology is most trustworthy at.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n");
+  report_strmatch();
+  report_sorting();
+  report_convolution();
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Extension analyses beyond the paper's tables (its §6 future work and
+// §3.1 streaming remark): multi-FPGA scaling curves, multi-kernel
+// composition, streaming-mode rates, and Monte-Carlo prediction intervals
+// for all three case studies.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/composition.hpp"
+#include "core/montecarlo.hpp"
+#include "core/streaming.hpp"
+#include "core/units.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+using namespace rat;
+
+void BM_MonteCarlo_4000Samples(benchmark::State& state) {
+  const auto in = core::md_inputs();
+  const auto model = core::UncertaintyModel::typical(in);
+  for (auto _ : state) {
+    auto r = core::run_monte_carlo(in, model, 4000, 10.0);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MonteCarlo_4000Samples);
+
+void BM_Scaling_64Boards(benchmark::State& state) {
+  const auto in = core::md_inputs();
+  for (auto _ : state) {
+    auto c = core::predict_scaling(in, core::mhz(100), 64);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_Scaling_64Boards);
+
+void print_scaling() {
+  std::printf("==== Multi-FPGA strong scaling (shared host bus, double "
+              "buffered) ====\n\n");
+  struct Row {
+    const char* name;
+    core::RatInputs in;
+    double clock;
+  };
+  const Row rows[] = {{"1-D PDF", core::pdf1d_inputs(), core::mhz(150)},
+                      {"2-D PDF", core::pdf2d_inputs(), core::mhz(150)},
+                      {"MD", core::md_inputs(), core::mhz(100)}};
+  util::Table t({"case", "boards", "speedup", "efficiency"});
+  for (const auto& row : rows) {
+    for (int k : {1, 2, 4, 8, 16, 32}) {
+      const auto curve = core::predict_scaling(row.in, row.clock, k);
+      const auto& p = curve.back();
+      t.add_row({row.name, std::to_string(k), util::fixed(p.speedup, 1),
+                 util::percent(p.efficiency)});
+    }
+    t.add_separator();
+  }
+  std::printf("%s", t.to_ascii().c_str());
+  for (const auto& row : rows) {
+    std::printf("%s: knee at %d boards (last >= 90%% efficiency, 64-board "
+                "search window)\n",
+                row.name,
+                core::max_useful_fpgas(row.in, row.clock, 0.9, 64));
+  }
+  std::printf("\nShape: MD's negligible communication keeps scaling "
+              "near-linear past the\nwindow; the PDF estimators hit the "
+              "shared-bus bound first (1-D earliest:\nits per-board compute "
+              "is smallest relative to its transfers).\n\n");
+}
+
+void print_composition() {
+  std::printf("==== Multi-kernel composition: PDF pipeline ====\n\n");
+  // A two-stage application: 1-D PDF estimation feeding a (hypothetical)
+  // histogram post-filter, with and without on-chip hand-off.
+  core::StageSpec pdf;
+  pdf.inputs = core::pdf1d_inputs();
+  pdf.fclock_hz = core::mhz(150);
+  core::StageSpec filter;
+  filter.inputs = core::pdf1d_inputs();
+  filter.inputs.name = "post-filter";
+  filter.inputs.comp.ops_per_element = 96.0;
+  filter.inputs.software.tsoft_sec = 0.081;
+  filter.fclock_hz = core::mhz(150);
+
+  const auto bus = core::predict_composite(
+      {pdf, filter}, core::CompositionMode::kSequential);
+  core::StageSpec pdf_chained = pdf;
+  pdf_chained.output_stays_on_chip = true;
+  const auto chained = core::predict_composite(
+      {pdf_chained, filter}, core::CompositionMode::kSequential);
+  const auto pipelined = core::predict_composite(
+      {pdf, filter}, core::CompositionMode::kPipelined);
+
+  std::printf("via host bus    : %.3e s (speedup %.1f)\n%s\n",
+              bus.t_total_sec, bus.speedup, bus.to_table().to_ascii().c_str());
+  std::printf("on-chip hand-off: %.3e s (speedup %.1f)\n", chained.t_total_sec,
+              chained.speedup);
+  std::printf("two-FPGA pipeline: %.3e s (speedup %.1f, bottleneck share "
+              "%s)\n\n",
+              pipelined.t_total_sec, pipelined.speedup,
+              util::percent(pipelined.bottleneck_share).c_str());
+}
+
+void print_streaming() {
+  std::printf("==== Streaming mode (Sec. 3.1 adjustment) ====\n\n");
+  util::Table t({"case", "rate_in (elem/s)", "rate_comp", "rate_out",
+                 "sustained", "bottleneck"});
+  struct Row {
+    const char* name;
+    core::RatInputs in;
+    double clock;
+  };
+  const Row rows[] = {{"1-D PDF", core::pdf1d_inputs(), core::mhz(150)},
+                      {"2-D PDF", core::pdf2d_inputs(), core::mhz(150)},
+                      {"MD", core::md_inputs(), core::mhz(100)}};
+  for (const auto& row : rows) {
+    const auto s = core::predict_streaming(row.in, row.clock);
+    const char* bn =
+        s.bottleneck == core::StreamBottleneck::kCompute  ? "compute"
+        : s.bottleneck == core::StreamBottleneck::kInput ? "input"
+                                                         : "output";
+    t.add_row({row.name, util::sci(s.rate_in), util::sci(s.rate_comp),
+               std::isinf(s.rate_out) ? "inf" : util::sci(s.rate_out),
+               util::sci(s.sustained_rate), bn});
+  }
+  std::printf("%s\n", t.to_ascii().c_str());
+}
+
+void print_montecarlo() {
+  std::printf("==== Monte-Carlo prediction intervals (typical input "
+              "uncertainty) ====\n\n");
+  util::Table t({"case", "goal", "speedup p10", "p50", "p90", "P(goal)"});
+  struct Row {
+    const char* name;
+    core::RatInputs in;
+    double goal;
+  };
+  const Row rows[] = {{"1-D PDF", core::pdf1d_inputs(), 10.0},
+                      {"2-D PDF", core::pdf2d_inputs(), 5.0},
+                      {"MD", core::md_inputs(), 10.0}};
+  for (const auto& row : rows) {
+    const auto mc = core::run_monte_carlo(
+        row.in, core::UncertaintyModel::typical(row.in), 4000, row.goal);
+    t.add_row({row.name, util::fixed(row.goal, 0) + "x",
+               util::fixed(mc.speedup_sb.p10, 1),
+               util::fixed(mc.speedup_sb.p50, 1),
+               util::fixed(mc.speedup_sb.p90, 1),
+               util::percent(mc.probability_of_goal)});
+  }
+  std::printf("%s", t.to_ascii().c_str());
+  std::printf(
+      "\nReading: the 1-D PDF's 10x goal was only ~coin-flip likely given\n"
+      "honest input uncertainty — consistent with the measured 7.8x.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n");
+  print_scaling();
+  print_composition();
+  print_streaming();
+  print_montecarlo();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces paper Tables 2 and 3 (and the Fig. 3 architecture summary):
+// the 1-D PDF estimation case study on the Nallatech H101 model.
+//
+// Benchmarks time the real software baseline and the fixed-point hardware
+// functional model; the report section prints the RAT worksheet with the
+// predicted 75/100/150 MHz columns and the simulated actual column.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "rcsim/cycle_sim.hpp"
+
+namespace {
+
+using namespace rat;
+
+const auto& samples() {
+  static const auto s =
+      apps::gaussian_mixture_1d(204800, apps::default_mixture_1d(), 2007);
+  return s;
+}
+
+void BM_Pdf1d_SoftwareBaseline_Batch(benchmark::State& state) {
+  const apps::Pdf1dConfig cfg;
+  const std::span<const double> batch(samples().data(), cfg.batch);
+  for (auto _ : state) {
+    auto pdf = apps::estimate_pdf1d_quadratic(batch, cfg);
+    benchmark::DoNotOptimize(pdf);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cfg.batch));
+}
+BENCHMARK(BM_Pdf1d_SoftwareBaseline_Batch);
+
+void BM_Pdf1d_FixedPointHw_Batch(benchmark::State& state) {
+  const apps::Pdf1dDesign design;
+  const std::span<const double> batch(samples().data(),
+                                      design.config().batch);
+  for (auto _ : state) {
+    auto pdf = design.estimate(batch);
+    benchmark::DoNotOptimize(pdf);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(design.config().batch));
+}
+BENCHMARK(BM_Pdf1d_FixedPointHw_Batch);
+
+void BM_Pdf1d_PlatformSimulation_FullRun(benchmark::State& state) {
+  const apps::Pdf1dDesign design;
+  const auto workload = bench::pdf1d_workload(design);
+  const auto platform = rcsim::nallatech_h101();
+  for (auto _ : state) {
+    auto run = apps::simulate_on_platform(workload, platform, core::mhz(150),
+                                          rcsim::Buffering::kSingle, 0.578);
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_Pdf1d_PlatformSimulation_FullRun);
+
+void print_report() {
+  const apps::Pdf1dDesign design;
+  const auto breakdown = rcsim::simulate_pipeline(design.pipeline_spec(),
+                                                  design.config().batch);
+  std::printf(
+      "\ncycle-level occupancy: %llu issue + %llu II + %llu stall + "
+      "%llu drain = %llu cycles (%.0f%% issuing)\n",
+      static_cast<unsigned long long>(breakdown.issue_cycles),
+      static_cast<unsigned long long>(breakdown.ii_cycles),
+      static_cast<unsigned long long>(breakdown.stall_cycles),
+      static_cast<unsigned long long>(breakdown.drain_cycles),
+      static_cast<unsigned long long>(breakdown.total_cycles),
+      breakdown.issue_fraction() * 100.0);
+  std::printf(
+      "Fig. 3 architecture: %zu pipelines x %zu bins, %s datapath, "
+      "%llu cycles/iteration (%.1f eff. ops/cycle vs %.0f ideal, "
+      "worksheet assumed %.0f)\n\n",
+      design.n_pipelines(),
+      design.config().n_bins / design.n_pipelines(),
+      design.format().to_string().c_str(),
+      static_cast<unsigned long long>(design.cycles_per_iteration()),
+      rcsim::effective_ops_per_cycle(design.pipeline_spec(),
+                                     design.config().batch),
+      design.ideal_ops_per_cycle(),
+      design.rat_inputs().comp.throughput_ops_per_cycle);
+  bench::print_case_study("Table 2+3: 1-D PDF estimation",
+                          design.rat_inputs(), bench::pdf1d_workload(design),
+                          rcsim::nallatech_h101(), core::mhz(150));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_report();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Calibrating an interconnect model from (noisy) measurements.
+//
+// Workflow: sweep a microbenchmark over transfer sizes on a platform whose
+// internals you don't know (here: the simulated Nallatech bus with 15%
+// timing jitter, standing in for a real card), fit the latency+bandwidth
+// model by least squares, and compare the fitted alpha curve against
+// single-probe alphas — showing how the fitted curve avoids the §4.3
+// small-transfer trap.
+//
+// Usage: calibrate_platform [--jitter=0.15] [--repeats=64]
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "rcsim/platform.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rat;
+  const util::Cli cli(argc, argv);
+  const double jitter = cli.get_double("jitter", 0.15);
+  const int repeats = static_cast<int>(cli.get_int("repeats", 64));
+
+  rcsim::Link link = rcsim::nallatech_pcix_link();
+  link.set_jitter(jitter);
+
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 256; s <= (4u << 20); s *= 2) sizes.push_back(s);
+  const auto [h2f, f2h] =
+      core::calibrate_from_microbench(link, sizes, repeats);
+
+  std::printf("fitted host->FPGA: overhead %s, sustained %s (R^2 %.4f)\n",
+              util::sci(h2f.fixed_overhead_sec).c_str(),
+              util::si(h2f.sustained_bw, "B/s").c_str(), h2f.r_squared);
+  std::printf("fitted FPGA->host: overhead %s, sustained %s (R^2 %.4f)\n",
+              util::sci(f2h.fixed_overhead_sec).c_str(),
+              util::si(f2h.sustained_bw, "B/s").c_str(), f2h.r_squared);
+  std::printf("ground truth     : 2.61E-6 / 700 MB/s and 9.87E-6 / 700 "
+              "MB/s\n\n");
+
+  util::Table t({"size", "true alpha_w", "fitted alpha_w", "2KB-probe "
+                 "alpha_w"});
+  rcsim::Microbench clean(rcsim::nallatech_pcix_link());
+  const double probe_alpha =
+      clean.measure(2048, rcsim::Direction::kHostToFpga).alpha;
+  for (std::size_t bytes : {512u, 2048u, 16384u, 262144u, 4194304u}) {
+    const double truth = rcsim::nallatech_pcix_link().measured_alpha(
+        bytes, rcsim::Direction::kHostToFpga);
+    t.add_row({util::bytes(static_cast<double>(bytes)),
+               util::fixed(truth, 3),
+               util::fixed(h2f.alpha_at(bytes, link.documented_bw()), 3),
+               util::fixed(probe_alpha, 3)});
+  }
+  std::printf("%s\n", t.to_ascii().c_str());
+  std::printf(
+      "A single 2 KB probe (the paper's workflow) is off by up to ~2x at\n"
+      "the ends of the range; the fitted curve tracks the truth "
+      "everywhere.\n");
+  return 0;
+}

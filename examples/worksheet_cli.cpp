@@ -1,0 +1,134 @@
+// File-driven RAT worksheet tool.
+//
+// Reads a worksheet from a "key = value" text file (or uses a built-in
+// case study), runs the throughput analysis plus the extension analyses
+// (streaming mode, multi-FPGA scaling, Monte-Carlo uncertainty), and
+// writes a Markdown + CSV report bundle.
+//
+// Usage:
+//   worksheet_cli --input=my_kernel.rat --out=reports
+//   worksheet_cli --case=pdf1d|pdf2d|md [--out=reports] [--goal=10]
+//   worksheet_cli --case=pdf1d --dump   (print a template worksheet file)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/composition.hpp"
+#include "rcsim/executor.hpp"
+#include "rcsim/platform.hpp"
+#include <algorithm>
+#include "core/montecarlo.hpp"
+#include "core/report.hpp"
+#include "core/streaming.hpp"
+#include "core/units.hpp"
+#include "core/worksheet.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rat;
+  const util::Cli cli(argc, argv);
+
+  core::RatInputs in;
+  const std::string which = cli.get_or("case", "pdf1d");
+  if (cli.has("input")) {
+    std::ifstream f(cli.get("input").value());
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   cli.get("input").value().c_str());
+      return 1;
+    }
+    std::ostringstream os;
+    os << f.rdbuf();
+    in = core::RatInputs::parse(os.str());
+  } else if (which == "pdf1d") {
+    in = core::pdf1d_inputs();
+  } else if (which == "pdf2d") {
+    in = core::pdf2d_inputs();
+  } else if (which == "md") {
+    in = core::md_inputs();
+  } else {
+    std::fprintf(stderr, "unknown --case=%s (pdf1d|pdf2d|md)\n",
+                 which.c_str());
+    return 1;
+  }
+  in.validate();
+
+  if (cli.has("dump")) {
+    std::printf("%s", in.serialize().c_str());
+    return 0;
+  }
+
+  std::printf("%s\n", core::render_worksheet(
+                          in, {}, core::WorksheetMode::kSingleBuffered)
+                          .c_str());
+
+  // Streaming mode at the fastest candidate clock.
+  const double fmax = in.comp.fclock_hz.back();
+  const auto stream = core::predict_streaming(in, fmax);
+  const char* bn =
+      stream.bottleneck == core::StreamBottleneck::kCompute  ? "compute"
+      : stream.bottleneck == core::StreamBottleneck::kInput ? "input channel"
+                                                            : "output channel";
+  std::printf("streaming mode at %.0f MHz: %.3g elements/s sustained, "
+              "bottleneck: %s\n",
+              core::to_mhz(fmax), stream.sustained_rate, bn);
+
+  // Multi-FPGA scaling knee.
+  const int useful = core::max_useful_fpgas(in, fmax, 0.5, 32);
+  std::printf("multi-FPGA scaling: up to %d board(s) stay above 50%% "
+              "parallel efficiency\n",
+              useful);
+
+  // Monte-Carlo band under typical input uncertainty.
+  const double goal = cli.get_double("goal", 10.0);
+  const auto mc = core::run_monte_carlo(
+      in, core::UncertaintyModel::typical(in), 4000, goal);
+  std::printf("uncertainty (4000 samples, typical bands): speedup p10 %.1f "
+              "/ p50 %.1f / p90 %.1f; P(>= %.0fx) = %.0f%%\n",
+              mc.speedup_sb.p10, mc.speedup_sb.p50, mc.speedup_sb.p90, goal,
+              mc.probability_of_goal * 100.0);
+
+  if (cli.has("out")) {
+    core::Report report;
+    report.inputs = in;
+    report.finalize();
+    const auto path = report.write(cli.get("out").value(), "worksheet");
+    std::printf("report bundle written to %s\n", path.string().c_str());
+  }
+
+  // --trace=<path>: simulate one generic run of this worksheet on the
+  // Nallatech bus model and dump a chrome://tracing timeline.
+  if (cli.has("trace")) {
+    const auto platform = rcsim::nallatech_h101();
+    rcsim::Workload w;
+    w.n_iterations = std::min<std::size_t>(in.software.n_iterations, 16);
+    w.io = [&](std::size_t) {
+      rcsim::IterationIo io;
+      io.input_chunks_bytes = {static_cast<std::size_t>(
+          static_cast<double>(in.dataset.elements_in) *
+          in.dataset.bytes_per_element)};
+      io.output_chunks_bytes = {std::max<std::size_t>(
+          4, static_cast<std::size_t>(
+                 static_cast<double>(in.dataset.elements_out) *
+                 in.dataset.bytes_per_element))};
+      return io;
+    };
+    w.cycles = [&](std::size_t) {
+      return static_cast<std::uint64_t>(
+          static_cast<double>(in.dataset.elements_in) *
+          in.comp.ops_per_element / in.comp.throughput_ops_per_cycle);
+    };
+    rcsim::ExecutionConfig ecfg;
+    ecfg.buffering = rcsim::Buffering::kDouble;
+    ecfg.fclock_hz = fmax;
+    ecfg.host_sync_sec = platform.host_sync_sec;
+    const auto run = rcsim::execute(w, platform.link, ecfg);
+    const std::string path = cli.get("trace").value();
+    std::ofstream f(path);
+    f << run.timeline.to_chrome_trace();
+    std::printf("chrome trace (%zu iterations) written to %s\n",
+                w.n_iterations, path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full verification pass: configure, build, run every test and every
+# benchmark binary. Mirrors what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "==== running $b"
+  "$b" --benchmark_min_time=0.05s
+done
+
+echo "ALL CHECKS PASSED"

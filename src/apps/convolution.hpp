@@ -1,0 +1,104 @@
+// 2-D image convolution — the archetypal FPGA streaming kernel, included
+// as a further extension case study. The hardware shape is the textbook
+// systolic window: K-1 line buffers in block RAM delay the incoming
+// raster-scan pixel stream so a K x K window is visible every cycle, and a
+// K x K multiply-accumulate array produces one output pixel per cycle
+// after the window fills. Its RAT worksheet is the cleanest of all the
+// case studies — fully deterministic, one element per cycle — which makes
+// it a good calibration point for the methodology itself.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/opcount.hpp"
+#include "core/parameters.hpp"
+#include "core/resources.hpp"
+#include "fixedpoint/fixed.hpp"
+#include "rcsim/executor.hpp"
+#include "rcsim/pipeline.hpp"
+
+namespace rat::apps {
+
+struct ConvConfig {
+  std::size_t width = 1024;   ///< frame width (pixels)
+  std::size_t height = 1024;  ///< frame height; one frame per iteration
+  std::size_t kernel_size = 5;  ///< odd K for a K x K window
+  double bytes_per_pixel = 2.0;
+
+  void validate() const;
+  std::size_t pixels() const { return width * height; }
+};
+
+/// Row-major image; values nominally in [0, 1).
+using Image = std::vector<double>;
+
+/// Synthetic test frame: smooth gradient + soft blobs + seeded noise.
+Image synthetic_frame(const ConvConfig& cfg, std::uint64_t seed);
+
+/// Common kernels (row-major K x K, normalized where applicable).
+std::vector<double> box_kernel(std::size_t k);       ///< mean filter
+std::vector<double> gaussian_kernel(std::size_t k);  ///< sigma = k/5
+std::vector<double> identity_kernel(std::size_t k);  ///< centre 1
+
+/// Software reference: zero-padded 2-D convolution in double precision.
+Image convolve2d(const Image& image, std::span<const double> kernel,
+                 const ConvConfig& cfg);
+
+/// Instrumented variant (one mul + one add per tap per pixel).
+Image convolve2d_counted(const Image& image, std::span<const double> kernel,
+                         const ConvConfig& cfg, OpCounter& ops);
+
+/// Separable convolution: for kernels expressible as col * row outer
+/// products (box, Gaussian), two 1-D passes replace the K x K sweep —
+/// 4K ops/pixel instead of 2K^2, the standard software optimization a
+/// legacy-code analysis would find. @p col/@p row are length-K vectors.
+/// Matches the zero-padded 2-D result exactly for product kernels.
+Image convolve2d_separable(const Image& image, std::span<const double> col,
+                           std::span<const double> row,
+                           const ConvConfig& cfg);
+
+/// 1-D factor of the Gaussian kernel (outer product of two of these
+/// equals gaussian_kernel(k)).
+std::vector<double> gaussian_factor(std::size_t k);
+
+/// The systolic-window hardware design.
+class ConvDesign {
+ public:
+  explicit ConvDesign(ConvConfig cfg = {},
+                      fx::Format format = fx::Format{18, 15, true});
+
+  const ConvConfig& config() const { return cfg_; }
+  const fx::Format& format() const { return format_; }
+
+  /// One pixel per cycle after the window fill ((K/2+ ceil?) rows + K/2
+  /// pixels of latency), modeled via PipelineSpec.
+  rcsim::PipelineSpec pipeline_spec() const;
+  std::uint64_t cycles_per_iteration() const;
+
+  /// Functional fixed-point convolution: image and kernel quantized into
+  /// the working format, 48-bit MAC accumulation, truncating narrowing —
+  /// bit-shaped like the MAC array.
+  Image convolve(const Image& image, std::span<const double> kernel) const;
+  Image convolve_with_format(const Image& image,
+                             std::span<const double> kernel,
+                             fx::Format fmt) const;
+
+  /// Frame in, frame out.
+  rcsim::IterationIo io() const;
+
+  /// K*K multipliers + (K-1) width-deep line buffers + window registers.
+  std::vector<core::ResourceItem> resource_items() const;
+
+  /// Worksheet: ops/pixel = 2*K*K; the MAC array retires all of them each
+  /// cycle, derated 10% for the row-fill bubbles.
+  core::RatInputs rat_inputs(double tsoft_sec, std::size_t n_iterations,
+                             const core::CommunicationParams& comm) const;
+
+ private:
+  ConvConfig cfg_;
+  fx::Format format_;
+};
+
+}  // namespace rat::apps

@@ -1,0 +1,21 @@
+#include "apps/hw_run.hpp"
+
+namespace rat::apps {
+
+SimulatedRun simulate_on_platform(const rcsim::Workload& workload,
+                                  const rcsim::Platform& platform,
+                                  double fclock_hz, rcsim::Buffering buffering,
+                                  double tsoft_sec) {
+  rcsim::ExecutionConfig cfg;
+  cfg.buffering = buffering;
+  cfg.fclock_hz = fclock_hz;
+  cfg.host_sync_sec = platform.host_sync_sec;
+  SimulatedRun run;
+  run.exec = rcsim::execute(workload, platform.link, cfg);
+  run.measured = core::measured_from_totals(
+      fclock_hz, run.exec.t_comm_sec, run.exec.t_comp_sec,
+      run.exec.t_total_sec, workload.n_iterations, tsoft_sec);
+  return run;
+}
+
+}  // namespace rat::apps

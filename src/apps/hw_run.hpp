@@ -1,0 +1,27 @@
+// Bridge from an application hardware-design model to a simulated
+// "measured" run on a platform: builds the rcsim workload, executes it,
+// and packages the result as a core::Measured record that can sit in the
+// Actual column of a RAT worksheet.
+#pragma once
+
+#include <functional>
+
+#include "core/validation.hpp"
+#include "rcsim/executor.hpp"
+#include "rcsim/platform.hpp"
+
+namespace rat::apps {
+
+struct SimulatedRun {
+  rcsim::ExecutionResult exec;
+  core::Measured measured;
+};
+
+/// Execute @p workload on @p platform at @p fclock_hz and summarize.
+/// @p tsoft_sec is the software baseline used for the measured speedup.
+SimulatedRun simulate_on_platform(const rcsim::Workload& workload,
+                                  const rcsim::Platform& platform,
+                                  double fclock_hz, rcsim::Buffering buffering,
+                                  double tsoft_sec);
+
+}  // namespace rat::apps

@@ -1,0 +1,15 @@
+#include "apps/opcount.hpp"
+
+#include <sstream>
+
+namespace rat::apps {
+
+std::string OpCounter::to_string() const {
+  std::ostringstream os;
+  os << "adds=" << adds << " subs=" << subs << " muls=" << muls
+     << " divs=" << divs << " sqrts=" << sqrts << " compares=" << compares
+     << " total(unit)=" << total_unit_weight();
+  return os.str();
+}
+
+}  // namespace rat::apps

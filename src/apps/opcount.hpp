@@ -1,0 +1,53 @@
+// Operation-count instrumentation.
+//
+// RAT's Nops/element input comes from "algorithm and software legacy code
+// analyses" (paper §1): counting the arithmetic a kernel performs per
+// element. The counted variants of our software baselines tally their
+// operations here, so a worksheet's ops_per_element can be *derived* from
+// the code instead of asserted — the same workflow the authors describe,
+// including the ambiguity of what an "operation" is (§3.1's Booth-
+// multiplier example): the weights below choose one consistent scope.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rat::apps {
+
+struct OpCounter {
+  std::uint64_t adds = 0;
+  std::uint64_t subs = 0;
+  std::uint64_t muls = 0;
+  std::uint64_t divs = 0;
+  std::uint64_t sqrts = 0;
+  std::uint64_t compares = 0;
+
+  /// Total with unit weights — every arithmetic operation counts once.
+  /// This is the scope the PDF case studies use (3 ops per bin update).
+  std::uint64_t total_unit_weight() const {
+    return adds + subs + muls + divs + sqrts + compares;
+  }
+
+  /// Weighted total for iterative units: a divider or square root occupies
+  /// a pipeline for many cycles, so code analysis often counts them as
+  /// multiple operations (the Booth discussion, §3.1).
+  std::uint64_t total_weighted(std::uint64_t div_weight = 16,
+                               std::uint64_t sqrt_weight = 16) const {
+    return adds + subs + muls + compares + divs * div_weight +
+           sqrts * sqrt_weight;
+  }
+
+  OpCounter& operator+=(const OpCounter& o) {
+    adds += o.adds;
+    subs += o.subs;
+    muls += o.muls;
+    divs += o.divs;
+    sqrts += o.sqrts;
+    compares += o.compares;
+    return *this;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace rat::apps

@@ -1,0 +1,143 @@
+#include "apps/pdf1d_gaussian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rat::apps {
+
+namespace {
+
+/// The LUT stores g(u) = exp(-u / 2) for u = (d/h)^2 in [0, cutoff^2);
+/// beyond ~3 bandwidths the kernel is treated as zero, as hardware would.
+constexpr double kCutoffSquared = 9.0;
+
+std::shared_ptr<const fx::FunctionLut> build_lut(const fx::Format& fmt,
+                                                 int index_bits) {
+  return std::make_shared<const fx::FunctionLut>(
+      [](double u) { return std::exp(-u / 2.0); }, 0.0, kCutoffSquared,
+      index_bits, fmt, fmt, /*interpolate=*/true);
+}
+
+}  // namespace
+
+Pdf1dGaussianDesign::Pdf1dGaussianDesign(Pdf1dConfig cfg,
+                                         std::size_t n_pipelines,
+                                         fx::Format format,
+                                         int lut_index_bits)
+    : cfg_(cfg),
+      n_pipelines_(n_pipelines),
+      format_(format),
+      lut_index_bits_(lut_index_bits),
+      lut_(build_lut(format, lut_index_bits)) {
+  cfg_.validate();
+  format_.validate();
+  if (n_pipelines_ == 0 || cfg_.n_bins % n_pipelines_ != 0)
+    throw std::invalid_argument(
+        "Pdf1dGaussianDesign: n_bins must be a positive multiple of "
+        "n_pipelines");
+}
+
+double Pdf1dGaussianDesign::ops_per_element() const {
+  // sub, square, table lookup, interpolation multiply, accumulate.
+  return 5.0 * static_cast<double>(cfg_.n_bins);
+}
+
+rcsim::PipelineSpec Pdf1dGaussianDesign::pipeline_spec() const {
+  rcsim::PipelineSpec spec;
+  spec.name = "pdf1d-gaussian";
+  // The BRAM read + interpolate lengthens each bin update to 3 cycles of
+  // initiation interval (read, multiply, accumulate share ports).
+  spec.depth = 80;
+  spec.initiation_interval =
+      3.0 * static_cast<double>(cfg_.n_bins / n_pipelines_);
+  spec.stall_per_item = 9.0;
+  spec.instances = 1;
+  spec.ops_per_item = ops_per_element();
+  return spec;
+}
+
+std::uint64_t Pdf1dGaussianDesign::cycles_per_iteration() const {
+  return rcsim::pipeline_cycles(pipeline_spec(), cfg_.batch);
+}
+
+std::vector<double> Pdf1dGaussianDesign::estimate(
+    std::span<const double> samples) const {
+  return estimate_with_format(samples, format_);
+}
+
+std::vector<double> Pdf1dGaussianDesign::estimate_with_format(
+    std::span<const double> samples, fx::Format fmt) const {
+  if (samples.empty())
+    throw std::invalid_argument("Pdf1dGaussianDesign::estimate: no samples");
+  fmt.validate();
+  const fx::FunctionLut lut_local =
+      fmt == format_
+          ? *lut_
+          : fx::FunctionLut([](double u) { return std::exp(-u / 2.0); },
+                            0.0, kCutoffSquared, lut_index_bits_, fmt, fmt,
+                            true);
+  const double h = cfg_.bandwidth;
+  // u = (d/h)^2 scaled into the LUT domain: the datapath computes d^2 and
+  // multiplies by the constant 1/h^2 (folded into one of the two MACs).
+  const double inv_h2 = 1.0 / (h * h);
+  const fx::Format acc_fmt{48, fmt.frac_bits, true};
+  const auto rnd = fx::Rounding::kTruncate;
+
+  std::vector<fx::Fixed> acc(cfg_.n_bins, fx::Fixed(acc_fmt));
+  for (double x : samples) {
+    for (std::size_t j = 0; j < cfg_.n_bins; ++j) {
+      const double d = cfg_.bin_center(j) - x;
+      const double u = d * d * inv_h2;
+      if (u >= kCutoffSquared) continue;  // beyond the table: zero weight
+      // Quantize u as the fixed datapath would before the table access.
+      // The LUT domain spans [0,9): give it 3 integer bits.
+      const fx::Format u_fmt{fmt.total_bits,
+                             std::max(0, fmt.total_bits - 1 - 4), true};
+      const fx::Fixed u_fx = fx::Fixed::from_double(u, u_fmt, rnd);
+      const fx::Fixed w = lut_local.evaluate(u_fx);
+      acc[j] = fx::Fixed::add(acc[j], w, acc_fmt, rnd);
+    }
+  }
+  const double norm =
+      1.0 / (static_cast<double>(samples.size()) * h * std::sqrt(2.0 * M_PI));
+  std::vector<double> out;
+  out.reserve(cfg_.n_bins);
+  for (const auto& a : acc) out.push_back(a.to_double() * norm);
+  return out;
+}
+
+std::vector<core::ResourceItem> Pdf1dGaussianDesign::resource_items() const {
+  const int mult_bits = format_.total_bits;
+  std::vector<core::ResourceItem> items;
+  // Two multipliers per pipeline: d^2 and the LUT interpolation.
+  items.push_back(core::ResourceItem{
+      "pipeline MACs (square + interpolate)", 2, mult_bits, 0, 520,
+      static_cast<int>(n_pipelines_)});
+  // One LUT per pipeline (each needs its own read port every cycle).
+  items.push_back(core::ResourceItem{
+      "Gaussian LUTs", 0, mult_bits, lut_->storage_bytes(), 60,
+      static_cast<int>(n_pipelines_)});
+  items.push_back(core::ResourceItem{
+      "I/O buffers", 0, mult_bits,
+      static_cast<std::int64_t>(2 * cfg_.batch * 4 + cfg_.n_bins * 4), 600,
+      1});
+  items.push_back(core::ResourceItem{
+      "bin accumulators", 0, mult_bits,
+      static_cast<std::int64_t>(cfg_.n_bins * 6), 300, 1});
+  items.push_back(core::ResourceItem{"vendor wrapper", 0, mult_bits,
+                                     64 * 1024, 2400, 1});
+  return items;
+}
+
+core::RatInputs Pdf1dGaussianDesign::rat_inputs() const {
+  core::RatInputs in = core::pdf1d_inputs();
+  in.name = "1-D PDF estimation (Gaussian LUT variant)";
+  in.comp.ops_per_element = ops_per_element();
+  // 5 ops per bin at 3 cycles per bin per pipeline, 8 pipelines, derated
+  // ~17% like the shipped design: 8 * 5/3 * 0.83 ~ 11.
+  in.comp.throughput_ops_per_cycle =
+      static_cast<double>(n_pipelines_) * (5.0 / 3.0) * 0.83;
+  return in;
+}
+
+}  // namespace rat::apps

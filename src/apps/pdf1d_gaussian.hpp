@@ -1,0 +1,64 @@
+// Gaussian-kernel hardware variant of the 1-D PDF design.
+//
+// The paper's shipped design uses the 3-op quadratic kernel (one MAC per
+// pipeline). A natural design alternative keeps the true Gaussian window
+// by evaluating exp(-d^2 / 2h^2) from an interpolated block-RAM lookup
+// table — better statistical quality for two extra resources per pipeline
+// (the LUT BRAM and the interpolation multiplier) and a longer bin update
+// (5 ops: sub, mul, lookup, interpolate-mul, add).
+//
+// This is exactly the kind of permutation the Fig.-1 iteration weighs:
+// same worksheet structure, different ops/element, resources and error
+// profile.
+#pragma once
+
+#include <memory>
+
+#include "apps/pdf1d.hpp"
+#include "fixedpoint/lut.hpp"
+
+namespace rat::apps {
+
+class Pdf1dGaussianDesign {
+ public:
+  /// @param lut_index_bits  table size = 2^bits entries per pipeline.
+  explicit Pdf1dGaussianDesign(Pdf1dConfig cfg = {},
+                               std::size_t n_pipelines = 8,
+                               fx::Format format = fx::Format{18, 17, true},
+                               int lut_index_bits = 8);
+
+  const Pdf1dConfig& config() const { return cfg_; }
+  std::size_t n_pipelines() const { return n_pipelines_; }
+  const fx::Format& format() const { return format_; }
+  const fx::FunctionLut& lut() const { return *lut_; }
+
+  /// 5 operations per bin update (vs the quadratic design's 3).
+  double ops_per_element() const;
+
+  /// Same streaming structure as the quadratic design, but the LUT's
+  /// read-interpolate adds two cycles of initiation interval per bin.
+  rcsim::PipelineSpec pipeline_spec() const;
+  std::uint64_t cycles_per_iteration() const;
+
+  /// Fixed-point Gaussian estimate through the LUT, normalized.
+  std::vector<double> estimate(std::span<const double> samples) const;
+  std::vector<double> estimate_with_format(std::span<const double> samples,
+                                           fx::Format fmt) const;
+
+  /// Adds one LUT BRAM and one extra multiplier per pipeline over the
+  /// quadratic design.
+  std::vector<core::ResourceItem> resource_items() const;
+
+  /// Table-2-style worksheet for this variant (same dataset/communication
+  /// groups; computation group reflects the 5-op kernel).
+  core::RatInputs rat_inputs() const;
+
+ private:
+  Pdf1dConfig cfg_;
+  std::size_t n_pipelines_;
+  fx::Format format_;
+  int lut_index_bits_;
+  std::shared_ptr<const fx::FunctionLut> lut_;
+};
+
+}  // namespace rat::apps

@@ -1,0 +1,71 @@
+#include "apps/pdf1d_rtl.hpp"
+
+#include <stdexcept>
+
+namespace rat::apps {
+
+RtlRunResult run_pdf1d_rtl(const Pdf1dDesign& design,
+                           std::span<const double> samples) {
+  if (samples.empty())
+    throw std::invalid_argument("run_pdf1d_rtl: no samples");
+  const Pdf1dConfig& cfg = design.config();
+  const fx::Format fmt = design.format();
+  const std::size_t pipes = design.n_pipelines();
+  const std::size_t bins_per_pipe = cfg.n_bins / pipes;
+  const auto rnd = fx::Rounding::kTruncate;
+
+  // Datapath constants, registered at configuration time.
+  const double h2 = cfg.bandwidth * cfg.bandwidth;
+  const fx::Fixed h2_fx = fx::Fixed::from_double(h2, fmt);
+  std::vector<fx::Fixed> bin_regs;
+  bin_regs.reserve(cfg.n_bins);
+  for (std::size_t j = 0; j < cfg.n_bins; ++j)
+    bin_regs.push_back(fx::Fixed::from_double(cfg.bin_center(j), fmt));
+
+  // 48-bit MAC accumulators, one per bin, zeroed at reset.
+  const fx::Format acc_fmt{48, fmt.frac_bits, true};
+  std::vector<fx::Fixed> acc(cfg.n_bins, fx::Fixed(acc_fmt));
+
+  RtlRunResult result;
+  const auto spec = design.pipeline_spec();
+  const auto stall = static_cast<std::uint64_t>(spec.stall_per_item);
+
+  // Clocked execution: elements stream through in batches of cfg.batch;
+  // each batch pays the fill/drain depth once, like one device iteration.
+  std::size_t index = 0;
+  while (index < samples.size()) {
+    const std::size_t batch_end =
+        std::min(index + cfg.batch, samples.size());
+    for (; index < batch_end; ++index) {
+      // Element handshake: the input FIFO re-arms for `stall` cycles.
+      result.cycles += stall;
+      result.handshake_stalls += stall;
+      const fx::Fixed x_fx = fx::Fixed::from_double(samples[index], fmt);
+      // One clock per bin slot; all pipelines issue their MAC in lockstep.
+      for (std::size_t slot = 0; slot < bins_per_pipe; ++slot) {
+        ++result.cycles;
+        for (std::size_t p = 0; p < pipes; ++p) {
+          const std::size_t j = p * bins_per_pipe + slot;
+          ++result.mac_issues;
+          const fx::Fixed d = fx::Fixed::sub(bin_regs[j], x_fx, fmt, rnd);
+          const fx::Fixed d2 = fx::Fixed::mul(d, d, fmt, rnd);
+          if (d2.raw() < h2_fx.raw()) {
+            const fx::Fixed w = fx::Fixed::sub(h2_fx, d2, fmt, rnd);
+            acc[j] = fx::Fixed::add(acc[j], w, acc_fmt, rnd);
+          }
+        }
+      }
+    }
+    result.cycles += spec.depth;  // batch drain
+  }
+
+  // Host-side normalization, identical to the behavioural model.
+  const double h = cfg.bandwidth;
+  const double norm =
+      3.0 / (4.0 * h * h * h * static_cast<double>(samples.size()));
+  result.estimate.reserve(cfg.n_bins);
+  for (const auto& a : acc) result.estimate.push_back(a.to_double() * norm);
+  return result;
+}
+
+}  // namespace rat::apps

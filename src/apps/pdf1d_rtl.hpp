@@ -1,0 +1,41 @@
+// Register-transfer-level micro-model of the 1-D PDF datapath.
+//
+// The paper stresses that the 1-D PDF design "is constructed in VHDL to
+// allow explicit, cycle-accurate construction of the intended design"
+// (§4.2). This model is that construction in software: the eight pipelines
+// are stepped clock by clock — element handshake, per-bin MAC issue,
+// accumulator writeback — with the same 18-bit truncating arithmetic as
+// the behavioural model. It exists to prove, by execution, that
+//
+//   * the cycle count equals Pdf1dDesign::cycles_per_iteration(), and
+//   * the accumulated results equal Pdf1dDesign::estimate() bit for bit,
+//
+// i.e. that the timing model and the functional model describe the same
+// machine — the property a real VHDL implementation would be verified
+// against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/pdf1d.hpp"
+
+namespace rat::apps {
+
+/// Outcome of simulating one batch through the RTL micro-model.
+struct RtlRunResult {
+  std::uint64_t cycles = 0;           ///< clock edges until drain complete
+  std::vector<double> estimate;       ///< normalized PDF (as estimate())
+  std::uint64_t mac_issues = 0;       ///< MAC operations issued (all pipes)
+  std::uint64_t handshake_stalls = 0; ///< element-handshake stall cycles
+};
+
+/// Step the design's datapath through one batch of samples, clock by
+/// clock. @p batches of samples are run back-to-back, sharing accumulator
+/// state, exactly like consecutive iterations on the device (per-batch
+/// fill is re-paid, as in the cycle model).
+RtlRunResult run_pdf1d_rtl(const Pdf1dDesign& design,
+                           std::span<const double> samples);
+
+}  // namespace rat::apps

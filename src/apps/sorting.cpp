@@ -1,0 +1,162 @@
+#include "apps/sorting.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rat::apps {
+
+void SortConfig::validate() const {
+  if (block < 2 || !std::has_single_bit(block))
+    throw std::invalid_argument("SortConfig: block must be a power of two >= 2");
+  if (comparators == 0 || comparators > block / 2)
+    throw std::invalid_argument(
+        "SortConfig: comparators must be in [1, block/2]");
+}
+
+std::size_t SortConfig::stages() const {
+  const auto k = static_cast<std::size_t>(std::countr_zero(block));
+  return k * (k + 1) / 2;
+}
+
+std::uint64_t SortConfig::exchanges_per_block() const {
+  return static_cast<std::uint64_t>(stages()) * (block / 2);
+}
+
+void merge_sort(std::span<std::uint32_t> data, OpCounter* ops) {
+  if (data.size() < 2) return;
+  std::vector<std::uint32_t> buffer(data.size());
+  // Bottom-up: merge runs of width 1, 2, 4, ...
+  std::uint32_t* src = data.data();
+  std::uint32_t* dst = buffer.data();
+  const std::size_t n = data.size();
+  for (std::size_t width = 1; width < n; width *= 2) {
+    for (std::size_t lo = 0; lo < n; lo += 2 * width) {
+      const std::size_t mid = std::min(lo + width, n);
+      const std::size_t hi = std::min(lo + 2 * width, n);
+      std::size_t i = lo, j = mid, k = lo;
+      while (i < mid && j < hi) {
+        if (ops) ++ops->compares;
+        dst[k++] = src[i] <= src[j] ? src[i++] : src[j++];
+      }
+      while (i < mid) dst[k++] = src[i++];
+      while (j < hi) dst[k++] = src[j++];
+    }
+    std::swap(src, dst);
+  }
+  if (src != data.data())
+    std::copy(src, src + n, data.data());
+}
+
+void bitonic_sort_block(std::span<std::uint32_t> block, const SortConfig& cfg,
+                        OpCounter* ops) {
+  cfg.validate();
+  if (block.size() != cfg.block)
+    throw std::invalid_argument("bitonic_sort_block: size != cfg.block");
+  const std::size_t n = block.size();
+  // Standard iterative bitonic network: exactly the compare-exchange
+  // schedule the hardware wires up.
+  for (std::size_t k = 2; k <= n; k *= 2) {
+    for (std::size_t j = k / 2; j > 0; j /= 2) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t partner = i ^ j;
+        if (partner <= i) continue;  // each exchange handled once
+        const bool ascending = (i & k) == 0;
+        const bool out_of_order = ascending ? block[i] > block[partner]
+                                            : block[i] < block[partner];
+        if (ops) ++ops->compares;
+        if (out_of_order) std::swap(block[i], block[partner]);
+      }
+    }
+  }
+}
+
+std::vector<std::uint32_t> hybrid_sort(std::span<const std::uint32_t> data,
+                                       const SortConfig& cfg) {
+  cfg.validate();
+  std::vector<std::uint32_t> out(data.begin(), data.end());
+  // Pad the tail block with max keys so the network sees full blocks.
+  const std::size_t padded =
+      (out.size() + cfg.block - 1) / cfg.block * cfg.block;
+  out.resize(padded, std::numeric_limits<std::uint32_t>::max());
+
+  for (std::size_t lo = 0; lo < out.size(); lo += cfg.block)
+    bitonic_sort_block(std::span(out).subspan(lo, cfg.block), cfg);
+
+  // Host-side merge of the sorted blocks (what the CPU does while the
+  // FPGA streams the next blocks).
+  for (std::size_t width = cfg.block; width < out.size(); width *= 2) {
+    for (std::size_t lo = 0; lo + width < out.size(); lo += 2 * width) {
+      const auto mid = out.begin() + static_cast<std::ptrdiff_t>(lo + width);
+      const auto hi = out.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(lo + 2 * width, out.size()));
+      std::inplace_merge(out.begin() + static_cast<std::ptrdiff_t>(lo), mid,
+                         hi);
+    }
+  }
+  out.resize(data.size());
+  return out;
+}
+
+std::vector<std::uint32_t> random_keys(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint32_t> out(n);
+  for (auto& x : out) x = static_cast<std::uint32_t>(rng.next_u64());
+  return out;
+}
+
+SortDesign::SortDesign(SortConfig cfg) : cfg_(cfg) { cfg_.validate(); }
+
+std::uint64_t SortDesign::cycles_per_iteration() const {
+  const std::uint64_t per_stage =
+      (cfg_.block / 2 + cfg_.comparators - 1) / cfg_.comparators;
+  // +block/2 drain: the last stage's results stream out half-width.
+  return static_cast<std::uint64_t>(cfg_.stages()) * per_stage +
+         cfg_.block / 2;
+}
+
+rcsim::IterationIo SortDesign::io() const {
+  rcsim::IterationIo io;
+  io.input_chunks_bytes = {cfg_.block * 4};
+  io.output_chunks_bytes = {cfg_.block * 4};
+  return io;
+}
+
+std::vector<core::ResourceItem> SortDesign::resource_items() const {
+  std::vector<core::ResourceItem> items;
+  // A 32-bit compare-exchange unit is ~40 logic elements (comparator +
+  // two muxes); the permutation network needs block-deep buffering.
+  items.push_back(core::ResourceItem{
+      "compare-exchange units", 0, 32, 0,
+      static_cast<std::int64_t>(40 * cfg_.comparators), 1});
+  items.push_back(core::ResourceItem{
+      "stage buffers (double)", 0, 32,
+      static_cast<std::int64_t>(4 * cfg_.block * 4), 500, 1});
+  items.push_back(core::ResourceItem{"vendor wrapper", 0, 32, 64 * 1024,
+                                     2400, 1});
+  return items;
+}
+
+core::RatInputs SortDesign::rat_inputs(
+    double tsoft_sec, std::size_t n_iterations,
+    const core::CommunicationParams& comm) const {
+  core::RatInputs in;
+  in.name = "block sorting (bitonic network)";
+  in.dataset.elements_in = cfg_.block;
+  in.dataset.elements_out = cfg_.block;
+  in.dataset.bytes_per_element = 4.0;
+  in.comm = comm;
+  // One operation = one compare-exchange. Each element participates in
+  // `stages` exchanges shared between two elements: stages/2 per element.
+  in.comp.ops_per_element = static_cast<double>(cfg_.stages()) / 2.0;
+  in.comp.throughput_ops_per_cycle = static_cast<double>(cfg_.comparators);
+  in.comp.fclock_hz = {75e6, 100e6, 150e6};
+  in.software.tsoft_sec = tsoft_sec;
+  in.software.n_iterations = n_iterations;
+  return in;
+}
+
+}  // namespace rat::apps

@@ -1,0 +1,78 @@
+// Block sorting — the paper's first example of an "element" (§3.1: "a
+// value in an array to be sorted"). Extension case study: the FPGA sorts
+// fixed-size blocks with a bitonic sorting network; the host merges sorted
+// blocks (a classic hybrid external-sort split).
+//
+// The bitonic network is implemented functionally (it must actually sort)
+// and as a cycle/resource model: a streaming network with C parallel
+// compare-exchange units processes one stage of B/2 exchanges in
+// ceil(B/2 / C) cycles, over log2(B)*(log2(B)+1)/2 stages.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/opcount.hpp"
+#include "core/parameters.hpp"
+#include "core/resources.hpp"
+#include "rcsim/executor.hpp"
+
+namespace rat::apps {
+
+struct SortConfig {
+  std::size_t block = 1024;       ///< elements per FPGA iteration (power of 2)
+  std::size_t comparators = 64;   ///< parallel compare-exchange units
+
+  void validate() const;
+  /// log2(block) * (log2(block)+1) / 2 bitonic stages.
+  std::size_t stages() const;
+  /// Compare-exchange operations to sort one block.
+  std::uint64_t exchanges_per_block() const;
+};
+
+/// Software baseline: counted bottom-up merge sort of the whole dataset
+/// (in place, returns the comparison count through @p ops when non-null).
+void merge_sort(std::span<std::uint32_t> data, OpCounter* ops = nullptr);
+
+/// Apply a bitonic sorting network to one block (size must equal
+/// cfg.block); this is the functional model of the hardware. Ascending.
+/// When @p ops is non-null, every compare-exchange is tallied — the count
+/// is exactly cfg.exchanges_per_block(), data independent (the property
+/// that makes the network's worksheet deterministic).
+void bitonic_sort_block(std::span<std::uint32_t> block, const SortConfig& cfg,
+                        OpCounter* ops = nullptr);
+
+/// The full hybrid: FPGA-model sorts each block, host merges. Returns the
+/// sorted copy (leaves input untouched) — must agree with std::sort.
+std::vector<std::uint32_t> hybrid_sort(std::span<const std::uint32_t> data,
+                                       const SortConfig& cfg);
+
+/// Uniform random keys.
+std::vector<std::uint32_t> random_keys(std::size_t n, std::uint64_t seed);
+
+/// Hardware design model.
+class SortDesign {
+ public:
+  explicit SortDesign(SortConfig cfg = {});
+
+  const SortConfig& config() const { return cfg_; }
+
+  /// Streaming network: stages x ceil((B/2)/C) cycles + drain.
+  std::uint64_t cycles_per_iteration() const;
+
+  rcsim::IterationIo io() const;  ///< block in, sorted block out
+
+  std::vector<core::ResourceItem> resource_items() const;
+
+  /// Worksheet: one operation = one compare-exchange; ops/element =
+  /// stages/2 x ... derived from exchanges_per_block / block; the network
+  /// retires `comparators` operations per cycle.
+  core::RatInputs rat_inputs(double tsoft_sec, std::size_t n_iterations,
+                             const core::CommunicationParams& comm) const;
+
+ private:
+  SortConfig cfg_;
+};
+
+}  // namespace rat::apps

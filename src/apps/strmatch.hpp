@@ -1,0 +1,106 @@
+// String matching — the paper's third example of an "element" (§3.1: "a
+// single character in a string-matching algorithm"). An extension case
+// study demonstrating the methodology on an integer, streaming-friendly
+// kernel with no precision test.
+//
+// Software baselines: naive multi-pattern scan and the bit-parallel
+// shift-or algorithm. Hardware design: a systolic comparator array — one
+// lane per pattern, each lane a chain of character comparators clocked one
+// text character per cycle, all lanes sharing the broadcast text stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/opcount.hpp"
+#include "core/parameters.hpp"
+#include "core/resources.hpp"
+#include "rcsim/executor.hpp"
+
+namespace rat::apps {
+
+struct StrMatchConfig {
+  std::vector<std::string> patterns;
+  std::size_t chunk = 4096;  ///< text characters per FPGA iteration
+
+  void validate() const;
+  std::size_t longest_pattern() const;
+  std::size_t total_pattern_chars() const;
+};
+
+/// Per-pattern match counts (matches may overlap; each start position
+/// where the pattern occurs counts once).
+std::vector<std::uint64_t> count_matches_naive(std::string_view text,
+                                               const StrMatchConfig& cfg);
+
+/// Bit-parallel shift-or; patterns must be <= 64 characters. Identical
+/// counts to the naive scan.
+std::vector<std::uint64_t> count_matches_shift_or(std::string_view text,
+                                                  const StrMatchConfig& cfg);
+
+/// Aho-Corasick automaton over a pattern set: build once, scan text in a
+/// single pass regardless of pattern count — the production-shaped
+/// software baseline for large dictionaries (shift-or scans per pattern).
+class AhoCorasick {
+ public:
+  explicit AhoCorasick(const StrMatchConfig& cfg);
+
+  /// Per-pattern counts; identical to the naive scan (duplicate patterns
+  /// each receive the full count).
+  std::vector<std::uint64_t> count_matches(std::string_view text) const;
+
+  std::size_t num_states() const { return next_.size(); }
+
+ private:
+  static constexpr int kAlphabet = 256;
+  std::vector<std::array<std::int32_t, kAlphabet>> next_;  ///< goto+failure
+  std::vector<std::vector<std::uint32_t>> output_;  ///< pattern ids per state
+  std::size_t n_patterns_;
+};
+
+/// Instrumented naive scan (the "legacy code analysis" path).
+std::vector<std::uint64_t> count_matches_naive_counted(
+    std::string_view text, const StrMatchConfig& cfg, OpCounter& ops);
+
+/// Synthetic text: uniform characters over an alphabet with occurrences of
+/// the configured patterns planted at the given rate (per character).
+std::string random_text(std::size_t n, const StrMatchConfig& cfg,
+                        double plant_rate, std::uint64_t seed,
+                        char alphabet_lo = 'a', char alphabet_hi = 'z');
+
+/// The systolic-array hardware design.
+class StrMatchDesign {
+ public:
+  explicit StrMatchDesign(StrMatchConfig cfg);
+
+  const StrMatchConfig& config() const { return cfg_; }
+
+  /// Functional model: exactly the comparator-chain semantics, one
+  /// character at a time. Must agree with the software baselines.
+  std::vector<std::uint64_t> count_matches(std::string_view text) const;
+
+  /// One text character enters the array per cycle; the pipeline depth is
+  /// the longest pattern (a match is confirmed that many cycles after its
+  /// first character).
+  std::uint64_t cycles_per_iteration() const;
+
+  /// I/O: one chunk of text in; per-pattern 8-byte counters out.
+  rcsim::IterationIo io() const;
+
+  std::vector<core::ResourceItem> resource_items() const;
+
+  /// Worksheet for this design: one operation = one character comparison;
+  /// every lane compares its full pattern window each cycle, so
+  /// ops/element = total pattern characters and throughput_proc equals the
+  /// same (all comparators fire in parallel, one element per cycle).
+  core::RatInputs rat_inputs(double tsoft_sec, std::size_t n_iterations,
+                             const core::CommunicationParams& comm) const;
+
+ private:
+  StrMatchConfig cfg_;
+};
+
+}  // namespace rat::apps

@@ -1,0 +1,53 @@
+// Synthetic workload generators.
+//
+// Substitutes for the paper's datasets (which are not published): seeded
+// Gaussian-mixture samples for the PDF estimators, and a particle box with
+// controllable density/cutoff locality for molecular dynamics. Every
+// generator is deterministic given its seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace rat::apps {
+
+/// One Gaussian component of a mixture, in the unit interval/square.
+struct MixtureComponent {
+  double mean = 0.5;
+  double sigma = 0.1;
+  double weight = 1.0;
+};
+
+/// Default bimodal mixture used by the PDF case studies.
+std::vector<MixtureComponent> default_mixture_1d();
+
+/// @return n samples in [0,1) drawn from the mixture (values falling
+/// outside are resampled, so the estimator's domain is closed).
+std::vector<double> gaussian_mixture_1d(std::size_t n,
+                                        const std::vector<MixtureComponent>& mix,
+                                        std::uint64_t seed);
+
+/// 2-D: independent mixtures per axis with a correlating rotation, giving
+/// a non-separable density (so the 2-D estimator is genuinely exercised).
+std::vector<std::array<double, 2>> gaussian_mixture_2d(std::size_t n,
+                                                       std::uint64_t seed);
+
+/// Molecular-dynamics particle state, SoA layout. Units are reduced
+/// (box length, LJ sigma/epsilon of order 1).
+struct ParticleSystem {
+  double box_length = 1.0;
+  std::vector<double> px, py, pz;  ///< positions in [0, box)
+  std::vector<double> vx, vy, vz;  ///< velocities
+  std::vector<double> ax, ay, az;  ///< accelerations
+
+  std::size_t size() const { return px.size(); }
+  /// 36 bytes/element: 4-byte floats for pos/vel/acc in x/y/z (Table 8).
+  static constexpr double kBytesPerElement = 36.0;
+};
+
+/// Uniformly filled box with Maxwell-Boltzmann-ish velocities.
+ParticleSystem particle_box(std::size_t n, double box_length,
+                            double temperature, std::uint64_t seed);
+
+}  // namespace rat::apps

@@ -1,0 +1,57 @@
+// Interconnect model calibration from microbenchmark samples.
+//
+// The paper prescribes deriving alpha from measured transfers; this module
+// closes the loop in the other direction: given (bytes, seconds) samples
+// from a real or simulated bus, fit the latency+bandwidth model
+//
+//     time = fixed_overhead + bytes / sustained_bw
+//
+// by ordinary least squares, with a fit-quality report. A calibrated
+// LinkDirection can then drive the simulator for platforms we have only
+// measurements of — and the fitted curve supplies alpha at *every* size,
+// fixing exactly the single-probe-size fragility that bit the paper's 1-D
+// PDF prediction (§4.3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rcsim/interconnect.hpp"
+#include "rcsim/microbench.hpp"
+
+namespace rat::core {
+
+/// One calibration observation.
+struct TransferSample {
+  std::size_t bytes = 0;
+  double time_sec = 0.0;
+};
+
+/// Least-squares fit result for one direction.
+struct LinkFit {
+  double fixed_overhead_sec = 0.0;
+  double sustained_bw = 0.0;  ///< bytes/sec
+  double r_squared = 0.0;     ///< coefficient of determination
+  /// Largest relative residual |model - sample| / sample.
+  double max_relative_residual = 0.0;
+
+  rcsim::LinkDirection to_direction(double rearm_sec = 0.0) const;
+
+  /// Model-implied alpha at a size, against a documented bandwidth.
+  double alpha_at(std::size_t bytes, double documented_bw) const;
+};
+
+/// Fit the affine model to samples. Requires >= 2 distinct sizes and
+/// positive times; throws std::invalid_argument otherwise (including when
+/// the fitted bandwidth or overhead comes out non-positive, which means
+/// the data cannot be described by this model).
+LinkFit fit_link_direction(std::span<const TransferSample> samples);
+
+/// Convenience: run a microbenchmark sweep on @p link and fit both
+/// directions, returning {host->FPGA fit, FPGA->host fit}.
+std::pair<LinkFit, LinkFit> calibrate_from_microbench(
+    const rcsim::Link& link, const std::vector<std::size_t>& sizes,
+    int repeats = 16, std::uint64_t seed = 0x5eed);
+
+}  // namespace rat::core

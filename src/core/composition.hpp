@@ -1,0 +1,93 @@
+// Multi-kernel and multi-FPGA composition of RAT analyses.
+//
+// The paper's future work (§6): "The current methodology was designed to
+// support applications involving several algorithms, each with their own
+// separate RAT analysis. Further experimentation ... is necessary,
+// especially with systems containing multiple FPGAs being increasingly
+// deployed." This module implements that composition:
+//
+//  * predict_composite — an application made of several kernels, each with
+//    its own worksheet, chained sequentially on one FPGA (with optional
+//    on-chip hand-off that skips the intermediate bus crossings) or
+//    pipelined across FPGAs (steady-state throughput set by the slowest
+//    stage, like Fig. 2's double buffering generalized to stages).
+//  * predict_scaling — one kernel data-parallel across k FPGAs that share
+//    the host interconnect: computation divides by k, bus transfers
+//    serialize, exposing the communication-bound scaling knee.
+//
+// Reconfiguration time between sequential kernels is ignored, consistent
+// with the paper's treatment of setup costs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/throughput.hpp"
+#include "util/table.hpp"
+
+namespace rat::core {
+
+/// One kernel stage of a composite application.
+struct StageSpec {
+  RatInputs inputs;
+  double fclock_hz = 100e6;
+  /// When true, this stage's output is consumed on-chip by the next stage:
+  /// its read-back and the next stage's write-in are skipped.
+  bool output_stays_on_chip = false;
+};
+
+enum class CompositionMode {
+  kSequential,  ///< stages share one FPGA, run back-to-back per iteration
+  kPipelined,   ///< one FPGA per stage; steady state = slowest stage
+};
+
+struct StagePrediction {
+  ThroughputPrediction prediction;  ///< the stage's standalone analysis
+  double t_write_sec = 0.0;         ///< input cost actually charged
+  double t_read_sec = 0.0;          ///< output cost actually charged
+  double t_stage_sec = 0.0;         ///< per-iteration contribution
+};
+
+struct CompositePrediction {
+  std::vector<StagePrediction> stages;
+  double t_total_sec = 0.0;  ///< whole-application execution time
+  double tsoft_total_sec = 0.0;
+  double speedup = 0.0;      ///< vs the summed software baselines
+  std::size_t bottleneck_stage = 0;  ///< argmax of t_stage
+  /// Fraction of total time spent in the bottleneck stage (kSequential) or
+  /// the steady-state efficiency of the pipeline (kPipelined).
+  double bottleneck_share = 0.0;
+
+  util::Table to_table() const;
+};
+
+/// Compose stage analyses. All stages must declare the same Niter (they
+/// process the same stream of blocks); throws otherwise.
+CompositePrediction predict_composite(const std::vector<StageSpec>& stages,
+                                      CompositionMode mode);
+
+/// One point of a multi-FPGA strong-scaling curve.
+struct ScalingPoint {
+  int n_fpgas = 1;
+  double t_comm_sec = 0.0;  ///< per-iteration, all boards (serialized bus)
+  double t_comp_sec = 0.0;  ///< per-iteration, slowest board
+  double t_rc_sec = 0.0;
+  double speedup = 0.0;
+  /// Parallel efficiency: speedup / (n_fpgas * single-board speedup).
+  double efficiency = 0.0;
+};
+
+/// Data-parallel split of one worksheet across 1..max_fpgas boards that
+/// share the host interconnect. Double-buffered per board: per-iteration
+/// time is max(total bus time, per-board compute). Elements divide as
+/// evenly as the integer split allows.
+std::vector<ScalingPoint> predict_scaling(const RatInputs& inputs,
+                                          double fclock_hz, int max_fpgas);
+
+/// Largest board count that still achieves at least
+/// @p min_parallel_efficiency; the knee of the scaling curve.
+int max_useful_fpgas(const RatInputs& inputs, double fclock_hz,
+                     double min_parallel_efficiency = 0.5,
+                     int search_limit = 64);
+
+}  // namespace rat::core

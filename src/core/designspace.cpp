@@ -1,0 +1,65 @@
+#include "core/designspace.hpp"
+
+#include <stdexcept>
+
+#include "core/units.hpp"
+#include "util/format.hpp"
+
+namespace rat::core {
+
+std::string DesignPoint::label() const {
+  return std::to_string(parallelism) + "x @ " +
+         util::fixed(to_mhz(fclock_hz), 0) + " MHz / " +
+         std::to_string(format_bits) + "-bit";
+}
+
+void DesignAxes::validate() const {
+  if (parallelism.empty() || fclock_hz.empty() || format_bits.empty())
+    throw std::invalid_argument("DesignAxes: empty axis");
+  for (std::size_t p : parallelism)
+    if (p == 0) throw std::invalid_argument("DesignAxes: zero parallelism");
+  for (double f : fclock_hz)
+    if (f <= 0.0)
+      throw std::invalid_argument("DesignAxes: non-positive clock");
+  for (int b : format_bits)
+    if (b < 2 || b > 63)
+      throw std::invalid_argument("DesignAxes: format bits outside [2,63]");
+}
+
+std::vector<DesignCandidate> enumerate_design_space(
+    const DesignAxes& axes, const CandidateFactory& factory) {
+  axes.validate();
+  if (!factory)
+    throw std::invalid_argument("enumerate_design_space: null factory");
+  std::vector<DesignCandidate> out;
+  for (std::size_t p : axes.parallelism) {
+    for (double f : axes.fclock_hz) {
+      for (int bits : axes.format_bits) {
+        DesignPoint point{p, f, bits};
+        auto cand = factory(point);
+        if (!cand) continue;
+        if (cand->inputs.name.empty()) cand->inputs.name = point.label();
+        cand->decision_clock_hz = f;
+        out.push_back(std::move(*cand));
+      }
+    }
+  }
+  return out;
+}
+
+DesignSpaceResult explore_design_space(const DesignAxes& axes,
+                                       const CandidateFactory& factory,
+                                       const Requirements& requirements,
+                                       const rcsim::Device& device) {
+  DesignSpaceResult result;
+  result.points_total = axes.size();
+  auto candidates = enumerate_design_space(axes, factory);
+  result.points_skipped = result.points_total - candidates.size();
+  if (candidates.empty())
+    throw std::invalid_argument(
+        "explore_design_space: factory skipped every point");
+  result.outcome = run_methodology(candidates, requirements, device);
+  return result;
+}
+
+}  // namespace rat::core

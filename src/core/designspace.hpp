@@ -1,0 +1,67 @@
+// Design-space enumeration for the Figure-1 iteration.
+//
+// The paper applies RAT "iteratively during the design process until a
+// suitable version of the algorithm is formulated or all reasonable
+// permutations are exhausted" (§3). This module generates those
+// permutations systematically: the cartesian product of the axes the
+// designer actually turns — parallelism, clock estimate, numeric format —
+// materialized as ordered DesignCandidates via a caller-supplied factory,
+// cheapest first so the methodology settles on the least resource-hungry
+// passing design.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/methodology.hpp"
+
+namespace rat::core {
+
+/// One point of the design space.
+struct DesignPoint {
+  std::size_t parallelism = 1;   ///< pipelines / lanes / comparators
+  double fclock_hz = 100e6;      ///< conservative achievable clock
+  int format_bits = 18;          ///< datapath width (ignore if N/A)
+
+  std::string label() const;
+};
+
+/// The axes to sweep. Empty axes are invalid (validate() throws).
+struct DesignAxes {
+  std::vector<std::size_t> parallelism = {1, 2, 4, 8};
+  std::vector<double> fclock_hz = {100e6, 150e6};
+  std::vector<int> format_bits = {18};
+
+  void validate() const;
+  std::size_t size() const {
+    return parallelism.size() * fclock_hz.size() * format_bits.size();
+  }
+};
+
+/// Builds a methodology candidate from a design point; return nullopt to
+/// skip points the design cannot realize (e.g. indivisible pipelines).
+using CandidateFactory =
+    std::function<std::optional<DesignCandidate>(const DesignPoint&)>;
+
+/// Enumerate the cartesian product, cheapest first: ordered by
+/// parallelism, then clock, then format width (ascending). Skipped points
+/// are dropped silently; the returned order is the evaluation order for
+/// run_methodology.
+std::vector<DesignCandidate> enumerate_design_space(
+    const DesignAxes& axes, const CandidateFactory& factory);
+
+/// Convenience: enumerate + run the methodology, returning the outcome and
+/// the number of points skipped by the factory.
+struct DesignSpaceResult {
+  MethodologyOutcome outcome;
+  std::size_t points_total = 0;
+  std::size_t points_skipped = 0;
+};
+
+DesignSpaceResult explore_design_space(const DesignAxes& axes,
+                                       const CandidateFactory& factory,
+                                       const Requirements& requirements,
+                                       const rcsim::Device& device);
+
+}  // namespace rat::core

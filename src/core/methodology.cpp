@@ -1,0 +1,133 @@
+#include "core/methodology.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace rat::core {
+
+namespace {
+const char* step_name(Step s) {
+  switch (s) {
+    case Step::kThroughputTest: return "throughput";
+    case Step::kPrecisionTest: return "precision";
+    case Step::kResourceTest: return "resource";
+    case Step::kPowerTest: return "power";
+    case Step::kProceed: return "PROCEED";
+    case Step::kRejected: return "rejected";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string MethodologyOutcome::render_trace() const {
+  std::ostringstream os;
+  for (const auto& e : trace) {
+    os << '[' << e.candidate_index << "] " << e.candidate_name << ": "
+       << step_name(e.step);
+    if (e.step != Step::kProceed && e.step != Step::kRejected)
+      os << (e.passed ? " PASS" : " FAIL");
+    if (!e.detail.empty()) os << " — " << e.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+MethodologyOutcome run_methodology(
+    const std::vector<DesignCandidate>& candidates, const Requirements& req,
+    const rcsim::Device& device) {
+  if (candidates.empty())
+    throw std::invalid_argument("run_methodology: no candidates");
+  if (req.min_speedup <= 0.0)
+    throw std::invalid_argument("run_methodology: min_speedup <= 0");
+
+  MethodologyOutcome out;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& cand = candidates[i];
+    const std::string& name = cand.inputs.name;
+
+    // --- Throughput test -------------------------------------------------
+    const ThroughputPrediction pred =
+        predict(cand.inputs, cand.decision_clock_hz);
+    out.predictions.push_back(pred);
+    const double speedup =
+        req.double_buffered ? pred.speedup_db : pred.speedup_sb;
+    const bool tp_ok = speedup >= req.min_speedup;
+    out.trace.push_back(
+        {i, name, Step::kThroughputTest, tp_ok,
+         "predicted speedup " + util::fixed(speedup, 1) + " vs required " +
+             util::fixed(req.min_speedup, 1)});
+    if (!tp_ok) {
+      out.last_reject = RejectReason::kInsufficientThroughput;
+      out.trace.push_back({i, name, Step::kRejected, false,
+                           "insufficient comm. or comp. throughput"});
+      continue;
+    }
+
+    // --- Precision test ---------------------------------------------------
+    if (req.precision) {
+      if (!cand.precision_kernel)
+        throw std::invalid_argument(
+            "run_methodology: precision requested but candidate '" + name +
+            "' has no precision kernel");
+      const PrecisionResult pr = run_precision_test(
+          cand.precision_kernel, cand.precision_reference, *req.precision);
+      out.trace.push_back(
+          {i, name, Step::kPrecisionTest, pr.satisfied,
+           pr.satisfied
+               ? "minimum precision " + pr.choice->format.to_string() +
+                     " (max err " +
+                     util::fixed(pr.choice->report.max_error_percent, 2) + "%)"
+               : "no format within tolerance"});
+      if (!pr.satisfied) {
+        out.last_reject = RejectReason::kUnrealizablePrecision;
+        out.trace.push_back({i, name, Step::kRejected, false,
+                             "unrealizable precision requirement"});
+        continue;
+      }
+    }
+
+    // --- Resource test ----------------------------------------------------
+    const ResourceTestResult rr =
+        run_resource_test(cand.resources, device, req.practical_fill_limit);
+    out.trace.push_back(
+        {i, name, Step::kResourceTest, rr.feasible,
+         "binding resource " + rr.utilization.binding_resource() + " at " +
+             util::percent(rr.utilization.max_fraction())});
+    if (!rr.feasible) {
+      out.last_reject = RejectReason::kInsufficientResources;
+      out.trace.push_back(
+          {i, name, Step::kRejected, false, "insufficient resources"});
+      continue;
+    }
+
+    // --- Power test (optional extension gate) ------------------------------
+    if (req.min_energy_ratio) {
+      const PowerEstimate pe =
+          estimate_power(rr.usage, pred, cand.inputs.software.tsoft_sec,
+                         req.power_model, req.host_power_model);
+      const bool power_ok = pe.energy_ratio >= *req.min_energy_ratio;
+      out.trace.push_back(
+          {i, name, Step::kPowerTest, power_ok,
+           "energy ratio " + util::fixed(pe.energy_ratio, 1) +
+               "x vs required " + util::fixed(*req.min_energy_ratio, 1) +
+               "x (" + util::fixed(pe.fpga_watts, 1) + " W FPGA)"});
+      if (!power_ok) {
+        out.last_reject = RejectReason::kInsufficientEnergySavings;
+        out.trace.push_back({i, name, Step::kRejected, false,
+                             "insufficient energy savings"});
+        continue;
+      }
+    }
+
+    out.proceed = true;
+    out.accepted_index = i;
+    out.trace.push_back({i, name, Step::kProceed, true,
+                         "build in HDL/HLL, verify on HW platform"});
+    return out;
+  }
+  return out;  // all permutations exhausted without a satisfactory solution
+}
+
+}  // namespace rat::core

@@ -1,0 +1,150 @@
+#include "core/montecarlo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rat::core {
+
+InputDistribution InputDistribution::uniform(double lo, double hi) {
+  if (!(lo < hi))
+    throw std::invalid_argument("InputDistribution::uniform: lo >= hi");
+  InputDistribution d;
+  d.kind = Kind::kUniform;
+  d.lo = lo;
+  d.hi = hi;
+  return d;
+}
+
+InputDistribution InputDistribution::normal(double mean, double sigma,
+                                            double lo, double hi) {
+  if (sigma <= 0.0 || !(lo < hi))
+    throw std::invalid_argument("InputDistribution::normal: bad parameters");
+  InputDistribution d;
+  d.kind = Kind::kNormal;
+  d.mean = mean;
+  d.sigma = sigma;
+  d.lo = lo;
+  d.hi = hi;
+  return d;
+}
+
+UncertaintyModel UncertaintyModel::typical(const RatInputs& inputs) {
+  inputs.validate();
+  UncertaintyModel m;
+  auto pct_band = [](double v, double frac, double cap_hi) {
+    return InputDistribution::uniform(v * (1.0 - frac),
+                                      std::min(v * (1.0 + frac), cap_hi));
+  };
+  m.alpha_write = pct_band(inputs.comm.alpha_write, 0.10, 1.0);
+  m.alpha_read = pct_band(inputs.comm.alpha_read, 0.10, 1.0);
+  m.ops_per_element =
+      pct_band(inputs.comp.ops_per_element, 0.25, 1e300);
+  m.throughput_proc =
+      pct_band(inputs.comp.throughput_ops_per_cycle, 0.25, 1e300);
+  const auto [lo, hi] = std::minmax_element(inputs.comp.fclock_hz.begin(),
+                                            inputs.comp.fclock_hz.end());
+  if (*lo < *hi)
+    m.fclock_hz = InputDistribution::uniform(*lo, *hi);
+  // tsoft is measured, not estimated: kFixed.
+  return m;
+}
+
+namespace {
+
+double draw(const InputDistribution& d, double point_value, util::Rng& rng) {
+  switch (d.kind) {
+    case InputDistribution::Kind::kFixed:
+      return point_value;
+    case InputDistribution::Kind::kUniform:
+      return rng.uniform(d.lo, d.hi);
+    case InputDistribution::Kind::kNormal: {
+      // Rejection-truncated normal; falls back to clamping after a bounded
+      // number of tries so a mis-specified band cannot hang the sampler.
+      for (int tries = 0; tries < 64; ++tries) {
+        const double x = rng.normal(d.mean, d.sigma);
+        if (x >= d.lo && x <= d.hi) return x;
+      }
+      return std::clamp(d.mean, d.lo, d.hi);
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+Percentiles percentiles_of(std::vector<double>& xs) {
+  std::sort(xs.begin(), xs.end());
+  auto at = [&](double q) {
+    const double idx = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  };
+  Percentiles p;
+  p.p10 = at(0.10);
+  p.p50 = at(0.50);
+  p.p90 = at(0.90);
+  p.mean = util::mean(xs);
+  return p;
+}
+
+}  // namespace
+
+MonteCarloResult run_monte_carlo(const RatInputs& inputs,
+                                 const UncertaintyModel& model,
+                                 std::size_t n, double goal_speedup,
+                                 std::uint64_t seed) {
+  inputs.validate();
+  if (n < 2) throw std::invalid_argument("run_monte_carlo: n < 2");
+  util::Rng rng(seed);
+
+  std::vector<double> s_sb, s_db, t_rc, t_comm, t_comp;
+  s_sb.reserve(n);
+  s_db.reserve(n);
+  t_rc.reserve(n);
+  t_comm.reserve(n);
+  t_comp.reserve(n);
+
+  std::size_t meets_goal = 0;
+  const double base_clock = inputs.comp.fclock_hz.front();
+  for (std::size_t i = 0; i < n; ++i) {
+    RatInputs sample = inputs;
+    sample.comm.alpha_write =
+        std::min(1.0, draw(model.alpha_write, inputs.comm.alpha_write, rng));
+    sample.comm.alpha_read =
+        std::min(1.0, draw(model.alpha_read, inputs.comm.alpha_read, rng));
+    sample.comp.ops_per_element =
+        draw(model.ops_per_element, inputs.comp.ops_per_element, rng);
+    sample.comp.throughput_ops_per_cycle = draw(
+        model.throughput_proc, inputs.comp.throughput_ops_per_cycle, rng);
+    sample.software.tsoft_sec =
+        draw(model.tsoft_sec, inputs.software.tsoft_sec, rng);
+    const double fclock = draw(model.fclock_hz, base_clock, rng);
+
+    const ThroughputPrediction p = predict(sample, fclock);
+    s_sb.push_back(p.speedup_sb);
+    s_db.push_back(p.speedup_db);
+    t_rc.push_back(p.t_rc_sb_sec);
+    t_comm.push_back(p.t_comm_sec);
+    t_comp.push_back(p.t_comp_sec);
+    if (goal_speedup > 0.0 && p.speedup_sb >= goal_speedup) ++meets_goal;
+  }
+
+  MonteCarloResult r;
+  r.n_samples = n;
+  r.speedup_db = percentiles_of(s_db);
+  r.t_rc_sb_sec = percentiles_of(t_rc);
+  r.t_comm_sec = percentiles_of(t_comm);
+  r.t_comp_sec = percentiles_of(t_comp);
+  r.speedup_sb = percentiles_of(s_sb);  // sorts s_sb
+  r.probability_of_goal =
+      goal_speedup > 0.0
+          ? static_cast<double>(meets_goal) / static_cast<double>(n)
+          : 0.0;
+  r.speedup_sb_samples = std::move(s_sb);
+  return r;
+}
+
+}  // namespace rat::core

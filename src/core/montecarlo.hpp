@@ -1,0 +1,87 @@
+// Monte-Carlo uncertainty propagation for RAT predictions.
+//
+// RAT's purpose is risk reduction, yet its inputs are estimates with very
+// different confidences: alphas come from microbenchmarks (tight), the
+// achievable clock is unknown until place-and-route (wide — the paper
+// sweeps 75-150 MHz for exactly this reason), and ops/element can be data
+// dependent (MD). This module models each worksheet input as a
+// distribution, samples full predictions, and reports percentile bands —
+// turning the paper's single-point worksheet into a prediction interval.
+// An extension beyond the paper, motivated by its §4.2 discussion of
+// parameter uncertainty.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/throughput.hpp"
+
+namespace rat::core {
+
+/// How one scalar input is perturbed across samples.
+struct InputDistribution {
+  enum class Kind {
+    kFixed,      ///< no uncertainty
+    kUniform,    ///< uniform in [lo, hi]
+    kNormal,     ///< normal(mean, sigma), truncated to [lo, hi]
+  };
+  Kind kind = Kind::kFixed;
+  double lo = 0.0;     ///< lower bound (kUniform/kNormal truncation)
+  double hi = 0.0;     ///< upper bound
+  double mean = 0.0;   ///< kNormal only
+  double sigma = 0.0;  ///< kNormal only
+
+  static InputDistribution fixed() { return {}; }
+  static InputDistribution uniform(double lo, double hi);
+  static InputDistribution normal(double mean, double sigma, double lo,
+                                  double hi);
+};
+
+/// Distributions for the uncertain worksheet inputs; anything left kFixed
+/// uses the worksheet's point value.
+struct UncertaintyModel {
+  InputDistribution alpha_write;
+  InputDistribution alpha_read;
+  InputDistribution ops_per_element;
+  InputDistribution throughput_proc;
+  InputDistribution fclock_hz;
+  InputDistribution tsoft_sec;
+
+  /// A sensible default: ±10% uniform on the alphas, ±25% on
+  /// throughput_proc and ops/element, clock uniform over the worksheet's
+  /// candidate range, tsoft fixed.
+  static UncertaintyModel typical(const RatInputs& inputs);
+};
+
+/// Empirical percentiles of a sampled quantity.
+struct Percentiles {
+  double p10 = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double mean = 0.0;
+
+  /// Width of the 10-90 band relative to the median.
+  double relative_spread() const { return (p90 - p10) / p50; }
+};
+
+struct MonteCarloResult {
+  std::size_t n_samples = 0;
+  Percentiles speedup_sb;
+  Percentiles speedup_db;
+  Percentiles t_rc_sb_sec;
+  Percentiles t_comm_sec;
+  Percentiles t_comp_sec;
+  /// Fraction of samples whose SB speedup meets the goal passed to run().
+  double probability_of_goal = 0.0;
+  /// Raw SB speedup samples, sorted ascending (for downstream plotting).
+  std::vector<double> speedup_sb_samples;
+};
+
+/// Sample @p n predictions from the model. @p goal_speedup feeds
+/// probability_of_goal (pass 0 to skip). Deterministic per seed.
+MonteCarloResult run_monte_carlo(const RatInputs& inputs,
+                                 const UncertaintyModel& model,
+                                 std::size_t n, double goal_speedup,
+                                 std::uint64_t seed = 0xA11CE);
+
+}  // namespace rat::core

@@ -1,0 +1,193 @@
+#include "core/parameters.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/units.hpp"
+#include "util/format.hpp"
+
+namespace rat::core {
+
+namespace {
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument("RatInputs: " + what);
+}
+
+}  // namespace
+
+void RatInputs::validate() const {
+  require(!name.empty(), "name is empty");
+  require(dataset.elements_in > 0, "elements_in must be positive");
+  // elements_out == 0 is legal: some designs retain all results on-chip
+  // until a final drain that is modelled separately.
+  require(dataset.bytes_per_element > 0.0, "bytes_per_element must be > 0");
+  require(comm.ideal_bw_bytes_per_sec > 0.0, "ideal bandwidth must be > 0");
+  require(comm.alpha_write > 0.0 && comm.alpha_write <= 1.0,
+          "alpha_write outside (0,1]");
+  require(comm.alpha_read > 0.0 && comm.alpha_read <= 1.0,
+          "alpha_read outside (0,1]");
+  require(comp.ops_per_element > 0.0, "ops_per_element must be > 0");
+  require(comp.throughput_ops_per_cycle > 0.0,
+          "throughput_proc must be > 0");
+  require(!comp.fclock_hz.empty(), "no candidate clock frequencies");
+  for (double f : comp.fclock_hz)
+    require(f > 0.0, "non-positive clock frequency");
+  require(software.tsoft_sec > 0.0, "tsoft must be > 0");
+  require(software.n_iterations > 0, "Niter must be positive");
+}
+
+util::Table RatInputs::to_table() const {
+  util::Table t({"Parameter", "Value"});
+  t.add_row({"Dataset Parameters", ""});
+  t.add_row({"  Nelements, input (elements)",
+             std::to_string(dataset.elements_in)});
+  t.add_row({"  Nelements, output (elements)",
+             std::to_string(dataset.elements_out)});
+  t.add_row({"  Nbytes/element (bytes/element)",
+             util::fixed(dataset.bytes_per_element, 0)});
+  t.add_row({"Communication Parameters", ""});
+  t.add_row({"  throughput_ideal (MB/s)",
+             util::fixed(comm.ideal_bw_bytes_per_sec / 1e6, 0)});
+  t.add_row({"  alpha_write (0 < a <= 1)", util::fixed(comm.alpha_write, 2)});
+  t.add_row({"  alpha_read (0 < a <= 1)", util::fixed(comm.alpha_read, 2)});
+  t.add_row({"Computation Parameters", ""});
+  t.add_row({"  Nops/element (ops/element)",
+             util::fixed(comp.ops_per_element, 0)});
+  t.add_row({"  throughput_proc (ops/cycle)",
+             util::fixed(comp.throughput_ops_per_cycle, 0)});
+  std::string clocks;
+  for (std::size_t i = 0; i < comp.fclock_hz.size(); ++i) {
+    if (i) clocks += "/";
+    clocks += util::fixed(to_mhz(comp.fclock_hz[i]), 0);
+  }
+  t.add_row({"  fclock (MHz)", clocks});
+  t.add_row({"Software Parameters", ""});
+  t.add_row({"  tsoft (sec)", util::fixed(software.tsoft_sec, 3)});
+  t.add_row({"  Niter (iterations)",
+             std::to_string(software.n_iterations)});
+  return t;
+}
+
+std::string RatInputs::serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "name = " << name << '\n';
+  os << "elements_in = " << dataset.elements_in << '\n';
+  os << "elements_out = " << dataset.elements_out << '\n';
+  os << "bytes_per_element = " << dataset.bytes_per_element << '\n';
+  os << "ideal_bw_bytes_per_sec = " << comm.ideal_bw_bytes_per_sec << '\n';
+  os << "alpha_write = " << comm.alpha_write << '\n';
+  os << "alpha_read = " << comm.alpha_read << '\n';
+  os << "ops_per_element = " << comp.ops_per_element << '\n';
+  os << "throughput_ops_per_cycle = " << comp.throughput_ops_per_cycle
+     << '\n';
+  os << "fclock_hz =";
+  for (double f : comp.fclock_hz) os << ' ' << f;
+  os << '\n';
+  os << "tsoft_sec = " << software.tsoft_sec << '\n';
+  os << "n_iterations = " << software.n_iterations << '\n';
+  return os.str();
+}
+
+RatInputs RatInputs::parse(const std::string& text) {
+  RatInputs in;
+  std::istringstream is(text);
+  std::string line;
+  bool saw_name = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("RatInputs::parse: missing '=' in: " + line);
+    auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t");
+      const auto e = s.find_last_not_of(" \t");
+      return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    auto as_double = [&] {
+      std::size_t pos = 0;
+      const double x = std::stod(value, &pos);
+      if (pos != value.size())
+        throw std::invalid_argument("RatInputs::parse: bad number for " + key);
+      return x;
+    };
+    auto as_size = [&] {
+      const double x = as_double();
+      if (x < 0.0 || x != std::floor(x))
+        throw std::invalid_argument("RatInputs::parse: bad count for " + key);
+      return static_cast<std::size_t>(x);
+    };
+    if (key == "name") {
+      in.name = value;
+      saw_name = true;
+    } else if (key == "elements_in") {
+      in.dataset.elements_in = as_size();
+    } else if (key == "elements_out") {
+      in.dataset.elements_out = as_size();
+    } else if (key == "bytes_per_element") {
+      in.dataset.bytes_per_element = as_double();
+    } else if (key == "ideal_bw_bytes_per_sec") {
+      in.comm.ideal_bw_bytes_per_sec = as_double();
+    } else if (key == "alpha_write") {
+      in.comm.alpha_write = as_double();
+    } else if (key == "alpha_read") {
+      in.comm.alpha_read = as_double();
+    } else if (key == "ops_per_element") {
+      in.comp.ops_per_element = as_double();
+    } else if (key == "throughput_ops_per_cycle") {
+      in.comp.throughput_ops_per_cycle = as_double();
+    } else if (key == "fclock_hz") {
+      std::istringstream vs(value);
+      double f;
+      while (vs >> f) in.comp.fclock_hz.push_back(f);
+    } else if (key == "tsoft_sec") {
+      in.software.tsoft_sec = as_double();
+    } else if (key == "n_iterations") {
+      in.software.n_iterations = as_size();
+    } else {
+      throw std::invalid_argument("RatInputs::parse: unknown key " + key);
+    }
+  }
+  if (!saw_name)
+    throw std::invalid_argument("RatInputs::parse: missing 'name'");
+  return in;
+}
+
+RatInputs pdf1d_inputs() {
+  RatInputs in;
+  in.name = "1-D PDF estimation";
+  in.dataset = DatasetParams{512, 1, 4.0};
+  in.comm = CommunicationParams{mbps(1000.0), 0.37, 0.16};
+  in.comp = ComputationParams{768.0, 20.0, {mhz(75), mhz(100), mhz(150)}};
+  in.software = SoftwareParams{0.578, 400};
+  return in;
+}
+
+RatInputs pdf2d_inputs() {
+  RatInputs in;
+  in.name = "2-D PDF estimation";
+  in.dataset = DatasetParams{1024, 65536, 4.0};
+  in.comm = CommunicationParams{mbps(1000.0), 0.37, 0.16};
+  in.comp = ComputationParams{393216.0, 48.0, {mhz(75), mhz(100), mhz(150)}};
+  in.software = SoftwareParams{158.8, 400};
+  return in;
+}
+
+RatInputs md_inputs() {
+  RatInputs in;
+  in.name = "Molecular dynamics";
+  in.dataset = DatasetParams{16384, 16384, 36.0};
+  in.comm = CommunicationParams{mbps(500.0), 0.9, 0.9};
+  in.comp = ComputationParams{164000.0, 50.0, {mhz(75), mhz(100), mhz(150)}};
+  // tsoft: the printed table cell is corrupt in the source scan; 5.78 s is
+  // implied by Table 9 (speedup 10.7 at tRC 5.40E-1, and actual 6.6 at
+  // 8.80E-1). Single iteration: the whole dataset resides on the FPGA.
+  in.software = SoftwareParams{5.78, 1};
+  return in;
+}
+
+}  // namespace rat::core

@@ -1,0 +1,62 @@
+// Power and energy estimation.
+//
+// The paper's introduction motivates a whole class of migrations by power
+// rather than raw speed: "The high-performance embedded community might
+// simply want FPGA performance to parallel a traditional processor since
+// savings could come in the form of reduced power usage." RAT itself defers
+// power analysis; this module supplies the missing estimate with the same
+// pencil-and-paper character as the throughput test: a static term plus
+// per-resource-class dynamic terms scaled by clock and utilization, turned
+// into energy by the predicted execution times.
+#pragma once
+
+#include "core/throughput.hpp"
+#include "rcsim/resources.hpp"
+
+namespace rat::core {
+
+/// Per-device power coefficients. Defaults are representative of the
+/// paper-era 90 nm parts (Virtex-4 / Stratix-II class).
+struct PowerModel {
+  double static_watts = 1.5;            ///< quiescent + config overhead
+  /// Dynamic power per active unit at 100 MHz; scales linearly with clock.
+  double watts_per_dsp_100mhz = 0.012;
+  double watts_per_bram_100mhz = 0.008;
+  double watts_per_klogic_100mhz = 0.10;  ///< per 1000 logic elements
+  /// Interconnect interface power while transferring.
+  double io_watts = 0.8;
+};
+
+/// Host-processor comparison point.
+struct HostPowerModel {
+  double busy_watts = 90.0;  ///< paper-era Xeon/Opteron package power
+  double idle_watts = 25.0;  ///< host idles while the FPGA computes
+};
+
+struct PowerEstimate {
+  double fpga_watts = 0.0;        ///< average FPGA power while running
+  double fpga_energy_joules = 0.0;  ///< over the predicted tRC (SB)
+  double host_energy_joules = 0.0;  ///< host running the software baseline
+  /// Host idle energy during the FPGA run is charged to the FPGA side
+  /// (the system still burns it), included in fpga_system_energy.
+  double fpga_system_energy_joules = 0.0;
+  /// host_energy / fpga_system_energy: >1 means the migration saves energy.
+  double energy_ratio = 0.0;
+
+  bool saves_energy() const { return energy_ratio > 1.0; }
+};
+
+/// Estimate power/energy for a design: @p usage from the resource test,
+/// @p prediction from the throughput test at the chosen clock.
+PowerEstimate estimate_power(const rcsim::ResourceUsage& usage,
+                             const ThroughputPrediction& prediction,
+                             double tsoft_sec,
+                             const PowerModel& fpga = {},
+                             const HostPowerModel& host = {});
+
+/// Minimum speedup at which the migration breaks even on energy alone,
+/// for the given average powers (speedup * ratio of powers identity).
+double break_even_speedup_for_energy(double fpga_system_watts,
+                                     const HostPowerModel& host = {});
+
+}  // namespace rat::core

@@ -1,0 +1,54 @@
+// The RAT numerical-precision test (paper §3.2).
+//
+// The paper treats precision as a design input: the designer picks a
+// candidate fixed-point format, verifies its end-to-end error against the
+// software (double-precision) reference, and feeds the resulting
+// bytes-per-element into the throughput test. This module packages that
+// loop: run an application kernel across formats, report error-vs-width,
+// and select the minimal format within tolerance.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fixedpoint/error_analysis.hpp"
+#include "util/table.hpp"
+
+namespace rat::core {
+
+/// Tolerance and search window for a precision test.
+struct PrecisionRequirements {
+  double max_error_percent = 2.0;  ///< the paper's 1-D PDF tolerance
+  int min_total_bits = 8;
+  int max_total_bits = 32;
+  /// Integer bits of the signed format under test (paper's PDF signals
+  /// live in [0,1), i.e. 0 integer bits).
+  int int_bits = 0;
+};
+
+/// Outcome of a precision test.
+struct PrecisionResult {
+  bool satisfied = false;
+  /// Chosen format + its error when satisfied.
+  std::optional<fx::PrecisionChoice> choice;
+  /// Error report for every width evaluated (for the sweep table/curve).
+  std::vector<fx::PrecisionChoice> sweep;
+
+  /// Bytes/element implied by the chosen format, rounded up to whole bytes
+  /// as the communication channel transfers them (the paper rounds 18-bit
+  /// data to 4-byte transfers because the channel is 32-bit). @p channel
+  /// is the channel word size in bytes.
+  double bytes_per_element(double channel_word_bytes = 4.0) const;
+
+  /// "bits | max err% | rmse" table over the sweep.
+  util::Table to_table() const;
+};
+
+/// Run the precision test: evaluate @p kernel (fixed-point implementation
+/// of the application) against @p reference over the requirement window.
+PrecisionResult run_precision_test(const fx::FixedKernel& kernel,
+                                   std::span<const double> reference,
+                                   const PrecisionRequirements& req);
+
+}  // namespace rat::core

@@ -1,0 +1,49 @@
+#include "core/ranking.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace rat::core {
+
+bool RankedResult::operator<(const RankedResult& other) const {
+  if (feasible != other.feasible) return feasible > other.feasible;
+  return speedup > other.speedup;
+}
+
+std::vector<RankedResult> rank_designs(
+    const std::vector<RankedCandidate>& candidates) {
+  if (candidates.empty())
+    throw std::invalid_argument("rank_designs: no candidates");
+  std::vector<RankedResult> out;
+  out.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    RankedResult r;
+    r.label = c.label.empty() ? c.inputs.name : c.label;
+    r.prediction = predict(c.inputs, c.fclock_hz);
+    r.speedup =
+        c.double_buffered ? r.prediction.speedup_db : r.prediction.speedup_sb;
+    r.resource_result = run_resource_test(c.resources, c.device);
+    r.feasible = r.resource_result.feasible;
+    out.push_back(std::move(r));
+  }
+  std::stable_sort(out.begin(), out.end());
+  return out;
+}
+
+util::Table ranking_table(const std::vector<RankedResult>& results) {
+  util::Table t({"rank", "design", "speedup", "util_comm", "binding",
+                 "max fill", "feasible"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    t.add_row({std::to_string(i + 1), r.label, util::fixed(r.speedup, 1),
+               util::percent(r.prediction.util_comm_sb),
+               r.resource_result.utilization.binding_resource(),
+               util::percent(r.resource_result.utilization.max_fraction()),
+               r.feasible ? "yes" : "NO"});
+  }
+  return t;
+}
+
+}  // namespace rat::core

@@ -1,0 +1,51 @@
+// Design/platform comparison and ranking.
+//
+// The paper's motivation (§1): inexperienced designers "were often unable
+// to quantitatively project and compare possible algorithmic design and
+// FPGA platform choices for their application." This module compares a set
+// of (worksheet, device, clock) candidates side by side: predicted speedup,
+// bottleneck, resource feasibility, and a composite verdict — the table a
+// design review would actually look at.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/resources.hpp"
+#include "core/throughput.hpp"
+#include "rcsim/device.hpp"
+#include "util/table.hpp"
+
+namespace rat::core {
+
+/// One candidate for the comparison.
+struct RankedCandidate {
+  std::string label;
+  RatInputs inputs;
+  double fclock_hz = 100e6;
+  bool double_buffered = false;
+  std::vector<ResourceItem> resources;
+  rcsim::Device device;
+};
+
+/// A scored candidate.
+struct RankedResult {
+  std::string label;
+  ThroughputPrediction prediction;
+  double speedup = 0.0;  ///< in the candidate's buffering mode
+  ResourceTestResult resource_result;
+  bool feasible = false;
+  /// Feasible candidates sort above infeasible ones; within each class,
+  /// higher speedup wins.
+  bool operator<(const RankedResult& other) const;
+};
+
+/// Evaluate and sort candidates, best first.
+std::vector<RankedResult> rank_designs(
+    const std::vector<RankedCandidate>& candidates);
+
+/// Side-by-side table: label | speedup | comm util | binding resource |
+/// max fill | feasible.
+util::Table ranking_table(const std::vector<RankedResult>& results);
+
+}  // namespace rat::core

@@ -1,0 +1,128 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/units.hpp"
+#include "core/worksheet.hpp"
+#include "util/format.hpp"
+
+namespace rat::core {
+
+void Report::finalize() {
+  inputs.validate();
+  predictions = predict_all(inputs);
+  validations.clear();
+  for (const auto& m : measurements) {
+    // Pair with the closest-clock prediction (measurements may use a clock
+    // outside the candidate list, e.g. MD measured at 100 of 75/100/150).
+    const ThroughputPrediction* best = nullptr;
+    for (const auto& p : predictions) {
+      if (!best || std::fabs(p.fclock_hz - m.fclock_hz) <
+                       std::fabs(best->fclock_hz - m.fclock_hz)) {
+        best = &p;
+      }
+    }
+    if (!best) throw std::logic_error("Report::finalize: no predictions");
+    validations.push_back(validate(*best, m));
+  }
+}
+
+std::string Report::to_markdown() const {
+  std::ostringstream os;
+  os << "# RAT analysis: " << inputs.name << "\n\n";
+  os << "## Input parameters\n\n" << inputs.to_table().to_markdown() << '\n';
+  os << "## Performance (single buffered)\n\n"
+     << performance_table(predictions, measurements,
+                          WorksheetMode::kSingleBuffered)
+            .to_markdown()
+     << '\n';
+  os << "## Performance (double buffered)\n\n"
+     << performance_table(predictions, measurements,
+                          WorksheetMode::kDoubleBuffered)
+            .to_markdown()
+     << '\n';
+  for (std::size_t i = 0; i < validations.size(); ++i) {
+    os << "## Validation of measurement " << i + 1 << " ("
+       << util::fixed(to_mhz(measurements[i].fclock_hz), 0) << " MHz)\n\n"
+       << validations[i].to_table().to_markdown() << '\n';
+  }
+  if (resources && device) {
+    os << "## Resource test (" << device->name << ")\n\n"
+       << resources->to_table(*device).to_markdown() << '\n'
+       << "Feasible: " << (resources->feasible ? "yes" : "**NO**")
+       << ", binding resource: " << resources->utilization.binding_resource()
+       << "\n\n";
+    if (!resources->breakdown.empty()) {
+      util::Table t({"component", "dsp", "bram", "logic"});
+      for (const auto& c : resources->breakdown) {
+        t.add_row({c.name, std::to_string(c.usage.dsp),
+                   std::to_string(c.usage.bram),
+                   std::to_string(c.usage.logic)});
+      }
+      os << "### Breakdown\n\n" << t.to_markdown() << '\n';
+    }
+  }
+  if (methodology) {
+    os << "## Methodology trace\n\n```\n"
+       << methodology->render_trace() << "```\n\n"
+       << "Outcome: "
+       << (methodology->proceed ? "PROCEED" : "no satisfactory design")
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string predictions_csv(const std::vector<ThroughputPrediction>& preds) {
+  util::Table t({"fclock_mhz", "t_write_sec", "t_read_sec", "t_comm_sec",
+                 "t_comp_sec", "t_rc_sb_sec", "t_rc_db_sec", "speedup_sb",
+                 "speedup_db", "util_comm_sb", "util_comp_sb",
+                 "util_comm_db", "util_comp_db"});
+  for (const auto& p : preds) {
+    t.add_row({util::fixed(to_mhz(p.fclock_hz), 3), util::sci(p.t_write_sec, 6),
+               util::sci(p.t_read_sec, 6), util::sci(p.t_comm_sec, 6),
+               util::sci(p.t_comp_sec, 6), util::sci(p.t_rc_sb_sec, 6),
+               util::sci(p.t_rc_db_sec, 6), util::fixed(p.speedup_sb, 4),
+               util::fixed(p.speedup_db, 4), util::fixed(p.util_comm_sb, 6),
+               util::fixed(p.util_comp_sb, 6), util::fixed(p.util_comm_db, 6),
+               util::fixed(p.util_comp_db, 6)});
+  }
+  return t.to_csv();
+}
+
+std::filesystem::path Report::write(const std::filesystem::path& directory,
+                                    const std::string& stem) const {
+  if (stem.empty()) throw std::invalid_argument("Report::write: empty stem");
+  std::filesystem::create_directories(directory);
+  const auto md_path = directory / (stem + ".md");
+  {
+    std::ofstream f(md_path);
+    if (!f) throw std::runtime_error("Report::write: cannot open " +
+                                     md_path.string());
+    f << to_markdown();
+  }
+  {
+    std::ofstream f(directory / (stem + "_predictions.csv"));
+    f << predictions_csv(predictions);
+  }
+  if (!validations.empty()) {
+    util::Table t({"fclock_mhz", "comm_error_pct", "comp_error_pct",
+                   "t_rc_error_pct", "speedup_error_pct", "within_order"});
+    for (std::size_t i = 0; i < validations.size(); ++i) {
+      const auto& v = validations[i];
+      t.add_row({util::fixed(to_mhz(measurements[i].fclock_hz), 1),
+                 util::fixed(v.comm_error_percent, 2),
+                 util::fixed(v.comp_error_percent, 2),
+                 util::fixed(v.t_rc_error_percent, 2),
+                 util::fixed(v.speedup_error_percent, 2),
+                 v.within_order_of_magnitude() ? "1" : "0"});
+    }
+    std::ofstream f(directory / (stem + "_validation.csv"));
+    f << t.to_csv();
+  }
+  return md_path;
+}
+
+}  // namespace rat::core

@@ -1,0 +1,52 @@
+// RAT analysis report writer.
+//
+// Bundles one application's full analysis — worksheet inputs, per-clock
+// predictions, optional measured columns, validation, resource test and
+// methodology trace — and renders it as a single Markdown document plus
+// machine-readable CSV sidecars, so an analysis can be archived next to
+// the design it justified (the worksheet-as-artifact workflow of §4).
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/methodology.hpp"
+#include "core/parameters.hpp"
+#include "core/resources.hpp"
+#include "core/throughput.hpp"
+#include "core/validation.hpp"
+
+namespace rat::core {
+
+struct Report {
+  RatInputs inputs;
+  std::vector<ThroughputPrediction> predictions;
+  std::vector<Measured> measurements;
+  /// Validation of measurement i against the prediction whose clock
+  /// matches it (built by finalize()).
+  std::vector<ValidationReport> validations;
+  std::optional<ResourceTestResult> resources;
+  std::optional<rcsim::Device> device;
+  std::optional<MethodologyOutcome> methodology;
+
+  /// Fill predictions (from the worksheet's candidate clocks) and pair
+  /// each measurement with the matching-clock prediction for validation.
+  /// Call after populating inputs/measurements.
+  void finalize();
+
+  /// Render the whole report as one Markdown document.
+  std::string to_markdown() const;
+
+  /// Write <stem>.md plus <stem>_predictions.csv (one row per clock) and,
+  /// when measurements exist, <stem>_validation.csv into @p directory
+  /// (created if missing). Returns the Markdown path.
+  std::filesystem::path write(const std::filesystem::path& directory,
+                              const std::string& stem) const;
+};
+
+/// CSV with one row per prediction (all Eq. 1-11 outputs).
+std::string predictions_csv(const std::vector<ThroughputPrediction>& preds);
+
+}  // namespace rat::core

@@ -1,0 +1,45 @@
+#include "core/resources.hpp"
+
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace rat::core {
+
+util::Table ResourceTestResult::to_table(const rcsim::Device& device) const {
+  util::Table t({"FPGA Resource", "Utilization"});
+  t.add_row({device.dsp_unit_name + "s",
+             util::percent(utilization.dsp_fraction)});
+  t.add_row({device.bram_unit_name + "s",
+             util::percent(utilization.bram_fraction)});
+  t.add_row({device.logic_unit_name,
+             util::percent(utilization.logic_fraction)});
+  return t;
+}
+
+ResourceTestResult run_resource_test(const std::vector<ResourceItem>& items,
+                                     const rcsim::Device& device,
+                                     double practical_fill_limit) {
+  rcsim::ResourceTracker tracker(device.inventory, practical_fill_limit);
+  for (const auto& item : items) {
+    if (item.instances <= 0)
+      throw std::invalid_argument("run_resource_test: instances <= 0 for " +
+                                  item.name);
+    rcsim::ResourceUsage u;
+    if (item.multiplier_count > 0)
+      u.dsp = item.multiplier_count *
+              device.dsp_per_multiplier(item.multiplier_bits);
+    u.bram = device.bram_for_bytes(item.buffer_bytes);
+    u.logic = item.logic_elements;
+    tracker.add(item.name, u * item.instances);
+  }
+  ResourceTestResult r;
+  r.usage = tracker.total();
+  r.utilization = tracker.report();
+  r.feasible = tracker.feasible();
+  r.device_name = device.name;
+  r.breakdown = tracker.components();
+  return r;
+}
+
+}  // namespace rat::core

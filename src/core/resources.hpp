@@ -1,0 +1,56 @@
+// The RAT resource test (paper §3.3).
+//
+// A-priori resource estimation against the target device: count the
+// dedicated multipliers the kernels need (via the vendor cost model in
+// rcsim::Device), the BRAM for I/O and intra-application buffering, and an
+// approximate logic budget, then check feasibility under a practical fill
+// limit. Produces the layout of paper Tables 4/7/10.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rcsim/device.hpp"
+#include "rcsim/resources.hpp"
+#include "util/table.hpp"
+
+namespace rat::core {
+
+/// A named contribution to the design's resource demand, in design-level
+/// terms (multipliers of a width, buffer bytes, logic estimate) that the
+/// test lowers onto a specific device.
+struct ResourceItem {
+  std::string name;
+  /// Fixed-point multipliers of this operand width (0 = none).
+  int multiplier_count = 0;
+  int multiplier_bits = 18;
+  /// On-chip buffer storage in bytes.
+  std::int64_t buffer_bytes = 0;
+  /// Estimated basic logic elements (slices/ALUTs) for control, adders,
+  /// registers. High-level estimates only — the paper stresses a precise
+  /// count is impossible pre-HDL.
+  std::int64_t logic_elements = 0;
+  /// Instances of this item in the design.
+  int instances = 1;
+};
+
+/// Result of lowering a design onto a device.
+struct ResourceTestResult {
+  rcsim::ResourceUsage usage;
+  rcsim::UtilizationReport utilization;
+  bool feasible = false;
+  std::string device_name;
+  /// Per-item lowered usage for diagnostics.
+  std::vector<rcsim::ResourceTracker::Component> breakdown;
+
+  /// Render in the layout of paper Tables 4/7/10 ("FPGA Resource |
+  /// Utilization" with device-appropriate row names).
+  util::Table to_table(const rcsim::Device& device) const;
+};
+
+/// Run the resource test for @p items on @p device.
+ResourceTestResult run_resource_test(const std::vector<ResourceItem>& items,
+                                     const rcsim::Device& device,
+                                     double practical_fill_limit = 0.9);
+
+}  // namespace rat::core

@@ -1,0 +1,54 @@
+// Streaming-mode throughput model.
+//
+// Paper §3.1: the RAT throughput test "nominally models FPGAs as
+// co-processors ... but the framework can be adjusted for streaming
+// applications." In streaming mode there is no iteration structure — data
+// flows continuously through input channel, fabric and output channel, and
+// the sustained rate is set by whichever of the three saturates first:
+//
+//   rate_in   = alpha_write * BW / bytes_per_element
+//   rate_comp = fclock * throughput_proc / ops_per_element
+//   rate_out  = alpha_read * BW / bytes_per_element (scaled by out/in ratio)
+//
+// This is the Niter -> infinity limit of the double-buffered model (Eq. 6)
+// with transfers fully overlapped; the tests assert that equivalence.
+#pragma once
+
+#include <cstddef>
+
+#include "core/parameters.hpp"
+
+namespace rat::core {
+
+enum class StreamBottleneck { kInput, kCompute, kOutput };
+
+struct StreamingPrediction {
+  /// Per-resource sustainable element rates (elements/sec, input-element
+  /// units).
+  double rate_in = 0.0;
+  double rate_comp = 0.0;
+  double rate_out = 0.0;
+  /// Steady-state sustained rate: min of the three.
+  double sustained_rate = 0.0;
+  StreamBottleneck bottleneck = StreamBottleneck::kCompute;
+
+  /// Time to stream @p total_elements through at the sustained rate
+  /// (startup/fill ignored, as the paper ignores setup costs).
+  double time_for(std::size_t total_elements) const;
+
+  /// Speedup over a software baseline that processed the same stream.
+  double speedup_for(std::size_t total_elements, double tsoft_sec) const;
+
+  /// Fractional headroom of each non-bottleneck resource (0 = saturated).
+  double input_headroom() const;
+  double compute_headroom() const;
+  double output_headroom() const;
+};
+
+/// Evaluate the streaming model at one clock. Uses the worksheet's
+/// dataset/communication/computation groups; software/Niter are not
+/// consulted (streams have no iteration structure).
+StreamingPrediction predict_streaming(const RatInputs& inputs,
+                                      double fclock_hz);
+
+}  // namespace rat::core

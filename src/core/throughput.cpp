@@ -1,0 +1,56 @@
+#include "core/throughput.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rat::core {
+
+ThroughputPrediction predict(const RatInputs& inputs, double fclock_hz) {
+  inputs.validate();
+  if (fclock_hz <= 0.0)
+    throw std::invalid_argument("predict: non-positive clock");
+
+  ThroughputPrediction p;
+  p.fclock_hz = fclock_hz;
+
+  const auto& d = inputs.dataset;
+  const auto& c = inputs.comm;
+
+  // Eqs. (2)/(3). Paper convention: "write" moves the input block to the
+  // FPGA, "read" returns the results.
+  p.t_write_sec = static_cast<double>(d.elements_in) * d.bytes_per_element /
+                  (c.alpha_write * c.ideal_bw_bytes_per_sec);
+  p.t_read_sec = static_cast<double>(d.elements_out) * d.bytes_per_element /
+                 (c.alpha_read * c.ideal_bw_bytes_per_sec);
+  p.t_comm_sec = p.t_write_sec + p.t_read_sec;  // Eq. (1)
+
+  // Eq. (4): computation on one buffer's worth of elements.
+  p.t_comp_sec = static_cast<double>(d.elements_in) *
+                 inputs.comp.ops_per_element /
+                 (fclock_hz * inputs.comp.throughput_ops_per_cycle);
+
+  const double n = static_cast<double>(inputs.software.n_iterations);
+  p.t_rc_sb_sec = n * (p.t_comm_sec + p.t_comp_sec);           // Eq. (5)
+  p.t_rc_db_sec = n * std::max(p.t_comm_sec, p.t_comp_sec);    // Eq. (6)
+
+  p.speedup_sb = inputs.software.tsoft_sec / p.t_rc_sb_sec;    // Eq. (7)
+  p.speedup_db = inputs.software.tsoft_sec / p.t_rc_db_sec;
+
+  const double sum = p.t_comm_sec + p.t_comp_sec;
+  const double mx = std::max(p.t_comm_sec, p.t_comp_sec);
+  p.util_comp_sb = p.t_comp_sec / sum;  // Eq. (8)
+  p.util_comm_sb = p.t_comm_sec / sum;  // Eq. (9)
+  p.util_comp_db = p.t_comp_sec / mx;   // Eq. (10)
+  p.util_comm_db = p.t_comm_sec / mx;   // Eq. (11)
+  return p;
+}
+
+std::vector<ThroughputPrediction> predict_all(const RatInputs& inputs) {
+  inputs.validate();
+  std::vector<ThroughputPrediction> out;
+  out.reserve(inputs.comp.fclock_hz.size());
+  for (double f : inputs.comp.fclock_hz) out.push_back(predict(inputs, f));
+  return out;
+}
+
+}  // namespace rat::core

@@ -1,0 +1,27 @@
+// Unit conventions and conversion helpers for the RAT core.
+//
+// All quantities in the public API are plain doubles carrying SI base
+// units, with the unit encoded in the variable name suffix:
+//   *_sec    seconds          *_hz     hertz
+//   *_bytes  bytes            *_bps    bytes per second
+// These helpers exist so worksheet code can state values in the paper's
+// units (MHz, MB/s) without sprinkling magic multipliers.
+#pragma once
+
+namespace rat::core {
+
+/// Megahertz to hertz (the paper lists fclock in MHz).
+constexpr double mhz(double v) { return v * 1e6; }
+
+/// Megabytes/second to bytes/second (the paper lists throughput_ideal in
+/// MB/s, decimal megabytes as interconnect standards do).
+constexpr double mbps(double v) { return v * 1e6; }
+
+/// Kibibytes / mebibytes to bytes for buffer sizes.
+constexpr double kib(double v) { return v * 1024.0; }
+constexpr double mib(double v) { return v * 1024.0 * 1024.0; }
+
+/// Hertz to megahertz (for display).
+constexpr double to_mhz(double hz) { return hz / 1e6; }
+
+}  // namespace rat::core

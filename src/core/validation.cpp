@@ -1,0 +1,65 @@
+#include "core/validation.hpp"
+
+#include <stdexcept>
+
+#include "util/format.hpp"
+#include "util/stats.hpp"
+
+namespace rat::core {
+
+Measured measured_from_totals(double fclock_hz, double total_comm_sec,
+                              double total_comp_sec, double total_sec,
+                              std::size_t n_iterations, double tsoft_sec) {
+  if (n_iterations == 0)
+    throw std::invalid_argument("measured_from_totals: zero iterations");
+  if (total_sec <= 0.0)
+    throw std::invalid_argument("measured_from_totals: non-positive total");
+  Measured m;
+  m.fclock_hz = fclock_hz;
+  const double n = static_cast<double>(n_iterations);
+  m.t_comm_sec = total_comm_sec / n;
+  m.t_comp_sec = total_comp_sec / n;
+  m.t_rc_sec = total_sec;
+  m.speedup = tsoft_sec / total_sec;
+  const double sum = total_comm_sec + total_comp_sec;
+  if (sum > 0.0) {
+    m.util_comm = total_comm_sec / sum;
+    m.util_comp = total_comp_sec / sum;
+  }
+  return m;
+}
+
+util::Table ValidationReport::to_table() const {
+  util::Table t({"Quantity", "error %", "same order?"});
+  auto yn = [](bool b) { return b ? std::string("yes") : std::string("no"); };
+  t.add_row({"tcomm", util::fixed(comm_error_percent, 1),
+             yn(comm_same_order)});
+  t.add_row({"tcomp", util::fixed(comp_error_percent, 1),
+             yn(comp_same_order)});
+  t.add_row({"tRC", util::fixed(t_rc_error_percent, 1), ""});
+  t.add_row({"speedup", util::fixed(speedup_error_percent, 1),
+             yn(speedup_same_order)});
+  return t;
+}
+
+ValidationReport validate(const ThroughputPrediction& predicted,
+                          const Measured& actual) {
+  ValidationReport r;
+  r.comm_error_percent =
+      util::percent_error(predicted.t_comm_sec, actual.t_comm_sec);
+  r.comp_error_percent =
+      util::percent_error(predicted.t_comp_sec, actual.t_comp_sec);
+  r.t_rc_error_percent =
+      util::percent_error(predicted.t_rc_sb_sec, actual.t_rc_sec);
+  r.speedup_error_percent =
+      util::percent_error(predicted.speedup_sb, actual.speedup);
+  r.comm_same_order =
+      util::same_order_of_magnitude(predicted.t_comm_sec, actual.t_comm_sec);
+  r.comp_same_order =
+      util::same_order_of_magnitude(predicted.t_comp_sec, actual.t_comp_sec);
+  r.speedup_same_order =
+      util::same_order_of_magnitude(predicted.speedup_sb, actual.speedup);
+  return r;
+}
+
+}  // namespace rat::core

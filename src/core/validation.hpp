@@ -1,0 +1,56 @@
+// Predicted-vs-actual comparison records.
+//
+// The paper validates RAT by placing measured platform numbers next to the
+// worksheet predictions (Tables 3/6/9) and judging accuracy qualitatively
+// ("reasonably close", "same order of magnitude"). This module holds the
+// measured record, computes per-quantity errors, and encodes those
+// qualitative judgements as testable predicates.
+#pragma once
+
+#include <string>
+
+#include "core/throughput.hpp"
+#include "util/table.hpp"
+
+namespace rat::core {
+
+/// A measured execution of the design on (real or simulated) hardware,
+/// expressed per-iteration like the paper's actual columns.
+struct Measured {
+  double fclock_hz = 0.0;
+  double t_comm_sec = 0.0;   ///< per-iteration communication time
+  double t_comp_sec = 0.0;   ///< per-iteration computation time
+  double t_rc_sec = 0.0;     ///< measured total execution time
+  double speedup = 0.0;
+  double util_comm = 0.0;
+  double util_comp = 0.0;
+};
+
+/// Build a Measured record from aggregate totals.
+Measured measured_from_totals(double fclock_hz, double total_comm_sec,
+                              double total_comp_sec, double total_sec,
+                              std::size_t n_iterations, double tsoft_sec);
+
+/// Error analysis of one prediction against one measurement.
+struct ValidationReport {
+  double comm_error_percent = 0.0;     ///< (actual-pred)/pred * 100
+  double comp_error_percent = 0.0;
+  double t_rc_error_percent = 0.0;
+  double speedup_error_percent = 0.0;
+  bool comm_same_order = false;
+  bool comp_same_order = false;
+  bool speedup_same_order = false;
+
+  /// The paper's headline criterion: every predicted time is within an
+  /// order of magnitude of the measurement.
+  bool within_order_of_magnitude() const {
+    return comm_same_order && comp_same_order && speedup_same_order;
+  }
+
+  util::Table to_table() const;
+};
+
+ValidationReport validate(const ThroughputPrediction& predicted,
+                          const Measured& actual);
+
+}  // namespace rat::core

@@ -1,0 +1,73 @@
+#include "core/worksheet.hpp"
+
+#include <sstream>
+
+#include "core/units.hpp"
+#include "util/format.hpp"
+
+namespace rat::core {
+
+util::Table performance_table(const std::vector<ThroughputPrediction>& preds,
+                              const std::vector<Measured>& actuals,
+                              WorksheetMode mode) {
+  std::vector<std::string> headers{"quantity"};
+  for (std::size_t i = 0; i < preds.size(); ++i) headers.push_back("Predicted");
+  for (std::size_t i = 0; i < actuals.size(); ++i) headers.push_back("Actual");
+  util::Table t(headers);
+
+  const bool sb = mode == WorksheetMode::kSingleBuffered;
+  auto row = [&](const std::string& label, auto pred_fn, auto act_fn) {
+    std::vector<std::string> cells{label};
+    for (const auto& p : preds) cells.push_back(pred_fn(p));
+    for (const auto& a : actuals) cells.push_back(act_fn(a));
+    t.add_row(std::move(cells));
+  };
+
+  row("fclk (MHz)",
+      [](const ThroughputPrediction& p) {
+        return util::fixed(to_mhz(p.fclock_hz), 0);
+      },
+      [](const Measured& a) { return util::fixed(to_mhz(a.fclock_hz), 0); });
+  row("tcomm (sec)",
+      [](const ThroughputPrediction& p) { return util::sci(p.t_comm_sec); },
+      [](const Measured& a) { return util::sci(a.t_comm_sec); });
+  row("tcomp (sec)",
+      [](const ThroughputPrediction& p) { return util::sci(p.t_comp_sec); },
+      [](const Measured& a) { return util::sci(a.t_comp_sec); });
+  row(sb ? "utilcomm_SB" : "utilcomm_DB",
+      [sb](const ThroughputPrediction& p) {
+        return util::percent(sb ? p.util_comm_sb : p.util_comm_db);
+      },
+      [](const Measured& a) { return util::percent(a.util_comm); });
+  row(sb ? "utilcomp_SB" : "utilcomp_DB",
+      [sb](const ThroughputPrediction& p) {
+        return util::percent(sb ? p.util_comp_sb : p.util_comp_db);
+      },
+      [](const Measured& a) { return util::percent(a.util_comp); });
+  row(sb ? "tRC_SB (sec)" : "tRC_DB (sec)",
+      [sb](const ThroughputPrediction& p) {
+        return util::sci(sb ? p.t_rc_sb_sec : p.t_rc_db_sec);
+      },
+      [](const Measured& a) { return util::sci(a.t_rc_sec); });
+  row("speedup",
+      [sb](const ThroughputPrediction& p) {
+        return util::fixed(sb ? p.speedup_sb : p.speedup_db, 1);
+      },
+      [](const Measured& a) { return util::fixed(a.speedup, 1); });
+  return t;
+}
+
+std::string render_worksheet(const RatInputs& inputs,
+                             const std::vector<Measured>& actuals,
+                             WorksheetMode mode) {
+  std::ostringstream os;
+  os << "RAT worksheet: " << inputs.name << "\n\n";
+  os << "Input parameters\n" << inputs.to_table().to_ascii() << '\n';
+  os << "Performance parameters ("
+     << (mode == WorksheetMode::kSingleBuffered ? "single" : "double")
+     << " buffered)\n"
+     << performance_table(predict_all(inputs), actuals, mode).to_ascii();
+  return os.str();
+}
+
+}  // namespace rat::core

@@ -1,0 +1,37 @@
+// RAT worksheet rendering: the paper's performance tables.
+//
+// "A worksheet can be constructed based upon Equations (1) through (11).
+// Users simply provide the input parameters and the resulting performance
+// values are returned." (paper §4). This module renders the input table
+// (Tables 2/5/8 layout) and the performance table (Tables 3/6/9 layout:
+// one Predicted column per candidate clock, optional Actual columns).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/parameters.hpp"
+#include "core/throughput.hpp"
+#include "core/validation.hpp"
+#include "util/table.hpp"
+
+namespace rat::core {
+
+/// Which buffering mode's rows the performance table shows (the paper's
+/// case studies are single buffered).
+enum class WorksheetMode { kSingleBuffered, kDoubleBuffered };
+
+/// Build the "Performance parameters" table: rows fclk / tcomm / tcomp /
+/// utilcomm / utilcomp / tRC / speedup, one column per prediction, then one
+/// per measurement.
+util::Table performance_table(const std::vector<ThroughputPrediction>& preds,
+                              const std::vector<Measured>& actuals,
+                              WorksheetMode mode);
+
+/// Full worksheet: input table + per-clock predictions + optional actuals,
+/// rendered to one printable string.
+std::string render_worksheet(const RatInputs& inputs,
+                             const std::vector<Measured>& actuals,
+                             WorksheetMode mode);
+
+}  // namespace rat::core

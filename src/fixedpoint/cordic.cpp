@@ -1,0 +1,90 @@
+#include "fixedpoint/cordic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rat::fx {
+
+Cordic::Cordic(Format working_format, int iterations)
+    : fmt_(working_format), iterations_(iterations) {
+  fmt_.validate();
+  if (fmt_.int_bits() < 2)
+    throw std::invalid_argument(
+        "Cordic: working format needs >= 2 integer bits (gain ~1.65)");
+  if (iterations_ < 1 || iterations_ > 48)
+    throw std::invalid_argument("Cordic: iterations outside [1,48]");
+
+  gain_ = 1.0;
+  atan_table_.reserve(iterations_);
+  for (int i = 0; i < iterations_; ++i) {
+    gain_ *= std::sqrt(1.0 + std::ldexp(1.0, -2 * i));
+    atan_table_.push_back(
+        Fixed::from_double(std::atan(std::ldexp(1.0, -i)), fmt_).raw());
+  }
+  inv_gain_raw_ = Fixed::from_double(1.0 / gain_, fmt_).raw();
+}
+
+CordicResult Cordic::run(std::int64_t x, std::int64_t y, std::int64_t z,
+                         bool vectoring) const {
+  for (int i = 0; i < iterations_; ++i) {
+    // Direction: rotation mode chases z to 0; vectoring chases y to 0.
+    const bool positive = vectoring ? (y < 0) : (z >= 0);
+    const std::int64_t dx = y >> i;  // arithmetic shifts, as in hardware
+    const std::int64_t dy = x >> i;
+    if (positive) {
+      x -= dx;
+      y += dy;
+      z -= atan_table_[static_cast<std::size_t>(i)];
+    } else {
+      x += dx;
+      y -= dy;
+      z += atan_table_[static_cast<std::size_t>(i)];
+    }
+  }
+  CordicResult r;
+  const double scale = fmt_.resolution();
+  r.x = static_cast<double>(x) * scale;
+  r.y = static_cast<double>(y) * scale;
+  r.z = static_cast<double>(z) * scale;
+  return r;
+}
+
+CordicResult Cordic::rotate(double radians) const {
+  if (std::fabs(radians) > M_PI / 2.0 + 1e-12)
+    throw std::invalid_argument("Cordic::rotate: |angle| > pi/2");
+  // Start at (1/K, 0) so the aggregate gain lands the result on the unit
+  // circle without a post-multiply.
+  const std::int64_t z0 = Fixed::from_double(radians, fmt_).raw();
+  return run(inv_gain_raw_, 0, z0, /*vectoring=*/false);
+}
+
+CordicResult Cordic::vector(double x0, double y0) const {
+  if (x0 <= 0.0)
+    throw std::invalid_argument("Cordic::vector: x0 must be positive");
+  // Inputs must leave headroom for the gain.
+  const double headroom = fmt_.max_value() / gain_;
+  if (std::fabs(x0) > headroom || std::fabs(y0) > headroom)
+    throw std::invalid_argument("Cordic::vector: input exceeds headroom");
+  const std::int64_t x = Fixed::from_double(x0, fmt_).raw();
+  const std::int64_t y = Fixed::from_double(y0, fmt_).raw();
+  CordicResult r = run(x, y, 0, /*vectoring=*/true);
+  // Compensate the gain with one multiply (a DSP slice in hardware).
+  const Fixed mag = Fixed::mul(
+      Fixed::from_double(r.x, fmt_),
+      Fixed::from_raw(inv_gain_raw_, fmt_), fmt_, Rounding::kNearest);
+  r.x = mag.to_double();
+  return r;
+}
+
+double Cordic::magnitude(double a, double b) const {
+  // Vectoring needs x > 0: fold the plane with |a|, |b| (magnitude is
+  // quadrant independent). Degenerate zero vector short-circuits.
+  const double ax = std::fabs(a), ay = std::fabs(b);
+  if (ax == 0.0 && ay == 0.0) return 0.0;
+  // Keep x the larger component for best convergence.
+  const double x0 = std::max(ax, ay);
+  const double y0 = std::min(ax, ay);
+  return vector(x0, y0).x;
+}
+
+}  // namespace rat::fx

@@ -1,0 +1,68 @@
+// Fixed-point CORDIC (COordinate Rotation DIgital Computer).
+//
+// The canonical FPGA iterative arithmetic unit: rotation mode computes
+// sin/cos of an angle, vectoring mode computes the magnitude and angle of
+// a vector — all with shifts and adds, one iteration per cycle. It is the
+// textbook instance of the paper's §3.1 "what is an operation" question
+// (like the Booth multiplier: one logical operation, N clocked
+// micro-operations), so the model exposes its iteration count for op/cycle
+// accounting, and the implementation mirrors hardware exactly: two's-
+// complement datapath, arithmetic right shifts, a precomputed arctangent
+// table, and a constant-gain compensation multiply.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixedpoint/fixed.hpp"
+
+namespace rat::fx {
+
+struct CordicResult {
+  double x = 0.0;  ///< rotation: cos(theta); vectoring: magnitude
+  double y = 0.0;  ///< rotation: sin(theta); vectoring: ~0
+  double z = 0.0;  ///< rotation: ~0 residual; vectoring: atan2(y, x)
+};
+
+/// A CORDIC engine for a given datapath width and iteration count.
+class Cordic {
+ public:
+  /// @param working_format  signed fixed-point datapath; needs >= 2
+  ///        integer bits (intermediate magnitudes reach ~1.65).
+  /// @param iterations      micro-rotations (= cycles in hardware);
+  ///        precision ~ 2^-iterations, capped by the format.
+  explicit Cordic(Format working_format = Format{18, 15, true},
+                  int iterations = 14);
+
+  int iterations() const { return iterations_; }
+  const Format& format() const { return fmt_; }
+
+  /// Rotation mode: from (x,y)=(1/K, 0) rotate by @p radians; returns
+  /// (cos, sin). Valid for |radians| <= pi/2 (hardware handles other
+  /// quadrants with a pre-rotation; apply one yourself for wider ranges).
+  CordicResult rotate(double radians) const;
+
+  /// Vectoring mode: drive y to zero; returns magnitude (gain-compensated)
+  /// in x and the angle atan2(y0, x0) in z. Requires x0 > 0 (right half
+  /// plane, as hardware vectoring units do).
+  CordicResult vector(double x0, double y0) const;
+
+  /// sqrt(a^2 + b^2) via vectoring — the distance primitive an MD force
+  /// pipeline would instantiate instead of a multiplier-hungry sqrt.
+  double magnitude(double a, double b) const;
+
+  /// The aggregate gain K = prod sqrt(1 + 2^-2i) the iterations introduce.
+  double gain() const { return gain_; }
+
+ private:
+  Format fmt_;
+  int iterations_;
+  double gain_;
+  std::vector<std::int64_t> atan_table_;  ///< raw angles per iteration
+  std::int64_t inv_gain_raw_;             ///< 1/K in the working format
+
+  CordicResult run(std::int64_t x, std::int64_t y, std::int64_t z,
+                   bool vectoring) const;
+};
+
+}  // namespace rat::fx

@@ -1,0 +1,80 @@
+#include "fixedpoint/error_analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace rat::fx {
+
+ErrorReport compare(std::span<const double> reference,
+                    std::span<const double> actual) {
+  if (reference.size() != actual.size() || reference.empty())
+    throw std::invalid_argument("compare: size mismatch or empty");
+  double ref_scale = 0.0;
+  for (double r : reference) ref_scale = std::fmax(ref_scale, std::fabs(r));
+  if (ref_scale == 0.0) ref_scale = 1.0;
+
+  ErrorReport rep;
+  double sum_abs = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double e = std::fabs(reference[i] - actual[i]);
+    rep.max_abs_error = std::fmax(rep.max_abs_error, e);
+    sum_abs += e;
+    sum_sq += e * e;
+  }
+  const auto n = static_cast<double>(reference.size());
+  rep.mean_abs_error = sum_abs / n;
+  rep.rmse = std::sqrt(sum_sq / n);
+  rep.max_error_percent = rep.max_abs_error / ref_scale * 100.0;
+  return rep;
+}
+
+ErrorReport representation_error(std::span<const double> reference,
+                                 Format fmt) {
+  std::vector<double> quantized;
+  quantized.reserve(reference.size());
+  for (double r : reference)
+    quantized.push_back(Fixed::from_double(r, fmt).to_double());
+  return compare(reference, quantized);
+}
+
+int required_int_bits(std::span<const double> data) {
+  if (data.empty()) throw std::invalid_argument("required_int_bits: empty");
+  double mag = 0.0;
+  for (double x : data) mag = std::fmax(mag, std::fabs(x));
+  if (mag == 0.0) return 0;
+  // Need 2^int_bits > mag, i.e. int_bits >= floor(log2(mag)) + 1.
+  return static_cast<int>(std::floor(std::log2(mag))) + 1;
+}
+
+std::optional<PrecisionChoice> search_min_total_bits(
+    const FixedKernel& kernel, std::span<const double> reference,
+    double tolerance_percent, int min_bits, int max_bits, int int_bits) {
+  if (min_bits > max_bits)
+    throw std::invalid_argument("search_min_total_bits: min > max");
+  for (int bits = min_bits; bits <= max_bits; ++bits) {
+    const Format fmt{bits, bits - 1 - int_bits, true};
+    if (fmt.frac_bits < 0 || fmt.frac_bits > fmt.total_bits) continue;
+    const auto out = kernel(fmt);
+    const auto rep = compare(reference, out);
+    if (rep.within_percent(tolerance_percent))
+      return PrecisionChoice{fmt, rep};
+  }
+  return std::nullopt;
+}
+
+std::vector<PrecisionChoice> sweep_total_bits(const FixedKernel& kernel,
+                                              std::span<const double> reference,
+                                              int min_bits, int max_bits,
+                                              int int_bits) {
+  std::vector<PrecisionChoice> out;
+  for (int bits = min_bits; bits <= max_bits; ++bits) {
+    const Format fmt{bits, bits - 1 - int_bits, true};
+    if (fmt.frac_bits < 0 || fmt.frac_bits > fmt.total_bits) continue;
+    out.push_back(PrecisionChoice{fmt, compare(reference, kernel(fmt))});
+  }
+  return out;
+}
+
+}  // namespace rat::fx

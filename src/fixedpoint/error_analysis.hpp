@@ -1,0 +1,74 @@
+// Quantization-error analysis over datasets and whole kernels.
+//
+// The RAT precision test (paper §3.2) is a search: find the cheapest format
+// whose end-to-end error against a double-precision reference stays within
+// tolerance. The paper's 1-D PDF case settled on 18-bit fixed point with a
+// ~2% maximum error. These helpers provide the dataset-level error report,
+// the dynamic-range analysis (how many integer bits a signal needs) and the
+// format search itself, over an arbitrary kernel functor.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fixedpoint/fixed.hpp"
+
+namespace rat::fx {
+
+/// Error statistics of a fixed-point sequence against a reference.
+struct ErrorReport {
+  double max_abs_error = 0.0;
+  double mean_abs_error = 0.0;
+  double rmse = 0.0;
+  /// Maximum relative error in percent, where each element's error is
+  /// normalized by the largest reference magnitude (so near-zero reference
+  /// values do not blow the metric up). This matches how the paper quotes
+  /// "maximum error percentage" for the PDF estimate.
+  double max_error_percent = 0.0;
+
+  bool within_percent(double tolerance_percent) const {
+    return max_error_percent <= tolerance_percent;
+  }
+};
+
+/// Error of simply storing @p reference in @p fmt (quantize + read back).
+ErrorReport representation_error(std::span<const double> reference,
+                                 Format fmt);
+
+/// Error of @p actual against @p reference (same length required).
+ErrorReport compare(std::span<const double> reference,
+                    std::span<const double> actual);
+
+/// Minimal number of integer bits (excluding sign) a signed format needs so
+/// that every value in @p data fits without saturating. May be negative for
+/// data confined to a sub-unit interval.
+int required_int_bits(std::span<const double> data);
+
+/// A kernel under precision analysis: given a format, run the computation
+/// in fixed point and return the outputs (same length as the reference).
+using FixedKernel = std::function<std::vector<double>(Format)>;
+
+/// Result of a bitwidth search.
+struct PrecisionChoice {
+  Format format;
+  ErrorReport report;
+};
+
+/// Search total bit widths from @p min_bits to @p max_bits (keeping
+/// `frac_bits = total_bits - 1 - int_bits`) for the smallest format whose
+/// kernel error is within @p tolerance_percent of the reference. Returns
+/// nullopt when even max_bits fails.
+std::optional<PrecisionChoice> search_min_total_bits(
+    const FixedKernel& kernel, std::span<const double> reference,
+    double tolerance_percent, int min_bits, int max_bits, int int_bits);
+
+/// Evaluate every width in [min_bits, max_bits] and return one report per
+/// width (for error-vs-bitwidth curves).
+std::vector<PrecisionChoice> sweep_total_bits(const FixedKernel& kernel,
+                                              std::span<const double> reference,
+                                              int min_bits, int max_bits,
+                                              int int_bits);
+
+}  // namespace rat::fx

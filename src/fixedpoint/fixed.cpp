@@ -1,0 +1,203 @@
+#include "fixedpoint/fixed.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace rat::fx {
+
+namespace {
+
+/// Clamp/wrap/throw a wide intermediate into the format's raw range.
+std::int64_t apply_overflow(__int128 raw, const Format& fmt,
+                            Overflow overflow) {
+  const __int128 lo = fmt.raw_min();
+  const __int128 hi = fmt.raw_max();
+  if (raw >= lo && raw <= hi) return static_cast<std::int64_t>(raw);
+  switch (overflow) {
+    case Overflow::kSaturate:
+      return static_cast<std::int64_t>(raw < lo ? lo : hi);
+    case Overflow::kWrap: {
+      const __int128 span = hi - lo + 1;
+      __int128 r = (raw - lo) % span;
+      if (r < 0) r += span;
+      return static_cast<std::int64_t>(lo + r);
+    }
+    case Overflow::kThrow:
+      throw std::overflow_error("fixed-point overflow in " + fmt.to_string());
+  }
+  throw std::logic_error("unreachable");
+}
+
+/// Shift a wide intermediate right by @p shift bits with the requested
+/// rounding (shift may be negative, meaning a left shift).
+__int128 shift_round(__int128 value, int shift, Rounding rounding) {
+  if (shift <= 0) return value << (-shift);
+  switch (rounding) {
+    case Rounding::kTruncate:
+      return value >> shift;  // arithmetic shift: floor
+    case Rounding::kNearest: {
+      const __int128 half = static_cast<__int128>(1) << (shift - 1);
+      if (value >= 0) return (value + half) >> shift;
+      return -((-value + half) >> shift);  // round half away from zero
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace
+
+double Format::resolution() const { return std::ldexp(1.0, -frac_bits); }
+
+std::int64_t Format::raw_max() const {
+  const int magnitude_bits = total_bits - (is_signed ? 1 : 0);
+  return (static_cast<std::int64_t>(1) << magnitude_bits) - 1;
+}
+
+std::int64_t Format::raw_min() const {
+  if (!is_signed) return 0;
+  return -(static_cast<std::int64_t>(1) << (total_bits - 1));
+}
+
+double Format::max_value() const {
+  return static_cast<double>(raw_max()) * resolution();
+}
+
+double Format::min_value() const {
+  return static_cast<double>(raw_min()) * resolution();
+}
+
+void Format::validate() const {
+  if (total_bits < 2 || total_bits > 63)
+    throw std::invalid_argument("Format: total_bits must be in [2,63]");
+  if (frac_bits < 0 || frac_bits > total_bits)
+    throw std::invalid_argument("Format: frac_bits must be in [0,total_bits]");
+}
+
+std::string Format::to_string() const {
+  std::ostringstream os;
+  os << 'Q' << int_bits() << '.' << frac_bits << " ("
+     << (is_signed ? 's' : 'u') << total_bits << ')';
+  return os.str();
+}
+
+Fixed::Fixed(Format fmt) : fmt_(fmt), raw_(0) { fmt_.validate(); }
+
+Fixed Fixed::from_raw(std::int64_t raw, Format fmt) {
+  fmt.validate();
+  if (raw < fmt.raw_min() || raw > fmt.raw_max())
+    throw std::out_of_range("Fixed::from_raw: raw outside " + fmt.to_string());
+  return Fixed(fmt, raw);
+}
+
+Fixed Fixed::from_double(double value, Format fmt, Rounding rounding,
+                         Overflow overflow) {
+  fmt.validate();
+  if (std::isnan(value))
+    throw std::invalid_argument("Fixed::from_double: NaN");
+  const double scaled = std::ldexp(value, fmt.frac_bits);
+  double r;
+  if (rounding == Rounding::kNearest) {
+    r = std::round(scaled);  // half away from zero, matches shift_round
+  } else {
+    r = std::floor(scaled);
+  }
+  // Values this large are far outside any 63-bit format; route through the
+  // overflow policy via saturated wide arithmetic.
+  __int128 wide;
+  if (r >= 9.2e18) {
+    wide = static_cast<__int128>(fmt.raw_max()) + 1;
+  } else if (r <= -9.2e18) {
+    wide = static_cast<__int128>(fmt.raw_min()) - 1;
+  } else {
+    wide = static_cast<__int128>(r);
+  }
+  return Fixed(fmt, apply_overflow(wide, fmt, overflow));
+}
+
+double Fixed::to_double() const {
+  return std::ldexp(static_cast<double>(raw_), -fmt_.frac_bits);
+}
+
+Fixed Fixed::add(const Fixed& a, const Fixed& b, Format out, Rounding rounding,
+                 Overflow overflow) {
+  out.validate();
+  const int f = std::max(a.fmt_.frac_bits, b.fmt_.frac_bits);
+  const __int128 wa = static_cast<__int128>(a.raw_)
+                      << (f - a.fmt_.frac_bits);
+  const __int128 wb = static_cast<__int128>(b.raw_)
+                      << (f - b.fmt_.frac_bits);
+  const __int128 sum = shift_round(wa + wb, f - out.frac_bits, rounding);
+  return Fixed(out, apply_overflow(sum, out, overflow));
+}
+
+Fixed Fixed::sub(const Fixed& a, const Fixed& b, Format out, Rounding rounding,
+                 Overflow overflow) {
+  out.validate();
+  const int f = std::max(a.fmt_.frac_bits, b.fmt_.frac_bits);
+  const __int128 wa = static_cast<__int128>(a.raw_)
+                      << (f - a.fmt_.frac_bits);
+  const __int128 wb = static_cast<__int128>(b.raw_)
+                      << (f - b.fmt_.frac_bits);
+  const __int128 diff = shift_round(wa - wb, f - out.frac_bits, rounding);
+  return Fixed(out, apply_overflow(diff, out, overflow));
+}
+
+Fixed Fixed::mul(const Fixed& a, const Fixed& b, Format out, Rounding rounding,
+                 Overflow overflow) {
+  out.validate();
+  const __int128 prod = static_cast<__int128>(a.raw_) * b.raw_;
+  const int prod_frac = a.fmt_.frac_bits + b.fmt_.frac_bits;
+  const __int128 scaled =
+      shift_round(prod, prod_frac - out.frac_bits, rounding);
+  return Fixed(out, apply_overflow(scaled, out, overflow));
+}
+
+Fixed Fixed::div(const Fixed& a, const Fixed& b, Format out,
+                 Rounding rounding, Overflow overflow) {
+  out.validate();
+  if (b.raw_ == 0) throw std::domain_error("Fixed::div: division by zero");
+  // a/b with result fractional point out.frac_bits:
+  //   raw = a.raw * 2^(out.frac + b.frac - a.frac) / b.raw
+  // Pre-shift the numerator in 128 bits; a positive pre-shift is exact,
+  // a negative one rounds through shift_round before the divide.
+  const int pre = out.frac_bits + b.fmt_.frac_bits - a.fmt_.frac_bits;
+  __int128 num = static_cast<__int128>(a.raw_);
+  __int128 den = static_cast<__int128>(b.raw_);
+  if (pre >= 0) {
+    num <<= pre;
+  } else {
+    num = shift_round(num, -pre, rounding);
+  }
+  __int128 q = num / den;
+  if (rounding == Rounding::kNearest) {
+    const __int128 rem = num - q * den;
+    // Round half away from zero on the remainder.
+    if (2 * (rem < 0 ? -rem : rem) >= (den < 0 ? -den : den))
+      q += ((num < 0) == (den < 0)) ? 1 : -1;
+  } else {
+    // Truncate toward -inf (floor), matching shift_round's convention.
+    const __int128 rem = num - q * den;
+    if (rem != 0 && ((num < 0) != (den < 0))) q -= 1;
+  }
+  return Fixed(out, apply_overflow(q, out, overflow));
+}
+
+Fixed Fixed::negate(Overflow overflow) const {
+  return Fixed(fmt_, apply_overflow(-static_cast<__int128>(raw_), fmt_,
+                                    overflow));
+}
+
+Fixed Fixed::convert(Format out, Rounding rounding, Overflow overflow) const {
+  out.validate();
+  const __int128 scaled = shift_round(static_cast<__int128>(raw_),
+                                      fmt_.frac_bits - out.frac_bits,
+                                      rounding);
+  return Fixed(out, apply_overflow(scaled, out, overflow));
+}
+
+double quantization_error(double value, Format fmt) {
+  return std::fabs(value - Fixed::from_double(value, fmt).to_double());
+}
+
+}  // namespace rat::fx

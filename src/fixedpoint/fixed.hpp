@@ -1,0 +1,128 @@
+// Runtime-parameterized fixed-point arithmetic.
+//
+// RAT's numerical-precision test (paper §3.2, §4.2) asks: what is the
+// smallest fixed-point format whose quantization error stays within the
+// application's tolerance? The paper's 1-D PDF design settled on 18-bit
+// fixed point (one Xilinx 18x18 MAC per multiply, ~2% max error). To run
+// that trade-off study in software we need a fixed-point type whose
+// format — total bits and fractional bits — is a *runtime* value, so a
+// single binary can sweep formats from Q4 to Q32.
+//
+// Values are stored as sign-extended two's-complement integers in an
+// int64_t; all formats up to 63 total bits are exact. Multiplication uses a
+// 128-bit intermediate so no intermediate overflow can occur.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rat::fx {
+
+/// How to round when discarding low-order bits.
+enum class Rounding {
+  kNearest,   ///< round-half-away-from-zero (typical DSP block behaviour)
+  kTruncate,  ///< drop bits (floor toward -inf), cheapest in hardware
+};
+
+/// What to do when a value exceeds the representable range.
+enum class Overflow {
+  kSaturate,  ///< clamp to min/max (typical for signal kernels)
+  kWrap,      ///< two's-complement wraparound (what plain logic does)
+  kThrow,     ///< throw std::overflow_error (for analysis/debugging)
+};
+
+/// A fixed-point format: `total_bits` including the sign bit (when signed),
+/// of which `frac_bits` are fractional. E.g. the paper's 18-bit format for
+/// PDF values in [0,1) is Format{18, 17}.
+struct Format {
+  int total_bits = 18;
+  int frac_bits = 17;
+  bool is_signed = true;
+
+  /// Number of integer (non-sign, non-fraction) bits; may be negative for
+  /// formats whose range is a strict sub-interval of (-1, 1).
+  int int_bits() const { return total_bits - frac_bits - (is_signed ? 1 : 0); }
+
+  /// Smallest representable increment: 2^-frac_bits.
+  double resolution() const;
+
+  /// Largest / smallest representable value.
+  double max_value() const;
+  double min_value() const;
+
+  /// Raw integer bounds (inclusive).
+  std::int64_t raw_max() const;
+  std::int64_t raw_min() const;
+
+  /// Throws std::invalid_argument when the format is unusable
+  /// (total_bits outside [2,63], frac_bits outside [0,total_bits]).
+  void validate() const;
+
+  /// "Q1.17 (s18)" style description.
+  std::string to_string() const;
+
+  bool operator==(const Format&) const = default;
+};
+
+/// A fixed-point value: a raw integer interpreted under a Format.
+class Fixed {
+ public:
+  /// Zero in the given format.
+  explicit Fixed(Format fmt);
+
+  /// Construct from a raw integer (already scaled by 2^frac_bits). The raw
+  /// value must be within the format's range.
+  static Fixed from_raw(std::int64_t raw, Format fmt);
+
+  /// Quantize a real value into the format.
+  static Fixed from_double(double value, Format fmt,
+                           Rounding rounding = Rounding::kNearest,
+                           Overflow overflow = Overflow::kSaturate);
+
+  double to_double() const;
+  std::int64_t raw() const { return raw_; }
+  const Format& format() const { return fmt_; }
+
+  /// Arithmetic producing a result in @p out. Operands may have different
+  /// formats; fractional points are aligned internally.
+  static Fixed add(const Fixed& a, const Fixed& b, Format out,
+                   Rounding rounding = Rounding::kNearest,
+                   Overflow overflow = Overflow::kSaturate);
+  static Fixed sub(const Fixed& a, const Fixed& b, Format out,
+                   Rounding rounding = Rounding::kNearest,
+                   Overflow overflow = Overflow::kSaturate);
+  static Fixed mul(const Fixed& a, const Fixed& b, Format out,
+                   Rounding rounding = Rounding::kNearest,
+                   Overflow overflow = Overflow::kSaturate);
+
+  /// Fixed-point division a/b (long division in a 128-bit intermediate,
+  /// as an iterative hardware divider would produce). Throws
+  /// std::domain_error when b is zero.
+  static Fixed div(const Fixed& a, const Fixed& b, Format out,
+                   Rounding rounding = Rounding::kNearest,
+                   Overflow overflow = Overflow::kSaturate);
+
+  /// Negation within the same format (saturates at raw_min when throwing is
+  /// not requested, mirroring hardware behaviour for -MIN).
+  Fixed negate(Overflow overflow = Overflow::kSaturate) const;
+
+  /// Re-quantize into another format.
+  Fixed convert(Format out, Rounding rounding = Rounding::kNearest,
+                Overflow overflow = Overflow::kSaturate) const;
+
+  bool operator==(const Fixed& other) const {
+    return fmt_ == other.fmt_ && raw_ == other.raw_;
+  }
+
+ private:
+  Fixed(Format fmt, std::int64_t raw) : fmt_(fmt), raw_(raw) {}
+
+  Format fmt_;
+  std::int64_t raw_;
+};
+
+/// Quantization error of representing @p value in @p fmt (round-to-nearest,
+/// saturating): |value - Q(value)|.
+double quantization_error(double value, Format fmt);
+
+}  // namespace rat::fx

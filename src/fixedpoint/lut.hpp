@@ -1,0 +1,68 @@
+// Lookup-table function evaluation in fixed point.
+//
+// FPGA datapaths implement transcendental kernels (the Gaussian of a
+// Parzen window, reciprocals, roots) as block-RAM lookup tables, usually
+// with linear interpolation between entries. This substrate builds such a
+// table from any double-precision function over an interval, evaluates it
+// in a given fixed-point format exactly as the hardware would (index from
+// the high bits, interpolate with one multiply), and reports the BRAM cost
+// and approximation error — feeding both the RAT precision test and the
+// resource test.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fixedpoint/fixed.hpp"
+
+namespace rat::fx {
+
+/// A function LUT over [lo, hi) with 2^index_bits entries.
+class FunctionLut {
+ public:
+  /// Sample @p f at 2^index_bits points. Entries are quantized into
+  /// @p value_format; inputs are interpreted in @p input_format.
+  /// @p interpolate selects linear interpolation (one extra multiplier,
+  /// much lower error) versus nearest-entry lookup.
+  FunctionLut(const std::function<double(double)>& f, double lo, double hi,
+              int index_bits, Format input_format, Format value_format,
+              bool interpolate = true);
+
+  /// Evaluate at a fixed-point input, exactly as the hardware pipeline
+  /// would: clamp to [lo, hi), split into index + fraction, look up, and
+  /// (optionally) interpolate with one truncating multiply.
+  Fixed evaluate(const Fixed& x) const;
+
+  /// Convenience: quantize @p x into the input format and evaluate.
+  double evaluate(double x) const;
+
+  std::size_t entries() const { return table_.size(); }
+  bool interpolating() const { return interpolate_; }
+  const Format& value_format() const { return value_fmt_; }
+
+  /// Bytes of table storage (entries x value bytes, rounded up per entry).
+  std::int64_t storage_bytes() const;
+
+  /// Maximum |f(x) - lut(x)| over a dense probe of the domain.
+  double max_abs_error(int probes = 4096) const;
+
+ private:
+  double lo_;
+  double hi_;
+  int index_bits_;
+  Format input_fmt_;
+  Format value_fmt_;
+  bool interpolate_;
+  std::function<double(double)> source_;
+  std::vector<Fixed> table_;  ///< quantized samples, one per index
+};
+
+/// Sweep index sizes until max_abs_error <= tolerance; returns the
+/// smallest index_bits in [min_bits, max_bits], or -1 when none suffices.
+int min_index_bits_for(const std::function<double(double)>& f, double lo,
+                       double hi, Format input_format, Format value_format,
+                       double tolerance, int min_bits = 4, int max_bits = 14,
+                       bool interpolate = true);
+
+}  // namespace rat::fx

@@ -1,0 +1,49 @@
+#include "rcsim/cycle_sim.hpp"
+
+#include <cmath>
+
+namespace rat::rcsim {
+
+double CycleBreakdown::effective_ops_per_cycle(const PipelineSpec& spec,
+                                               std::uint64_t items) const {
+  if (total_cycles == 0) return 0.0;
+  return static_cast<double>(items) * spec.ops_per_item /
+         static_cast<double>(total_cycles);
+}
+
+CycleBreakdown simulate_pipeline(const PipelineSpec& spec,
+                                 std::uint64_t items) {
+  spec.validate();
+  CycleBreakdown b;
+  if (items == 0) return b;
+
+  const std::uint64_t per_instance =
+      (items + spec.instances - 1) / spec.instances;
+
+  // Walk the instance's item stream cycle by cycle. Fractional initiation
+  // intervals accumulate: item k occupies cycles [floor(k*(II+stall)),
+  // floor((k+1)*(II+stall))) — the first cycle issues, the next
+  // ceil(II)-1 are II occupancy, the rest are stalls.
+  double position = 0.0;
+  std::uint64_t cursor = 0;
+  for (std::uint64_t k = 0; k < per_instance; ++k) {
+    position += spec.initiation_interval + spec.stall_per_item;
+    const auto next =
+        static_cast<std::uint64_t>(std::ceil(position - 1e-12));
+    const std::uint64_t span = next - cursor;
+    // One issue cycle; the II occupies up to ceil(II)-1 more; the rest of
+    // the span is handshake stall.
+    b.issue_cycles += 1;
+    const auto ii_extra = std::min<std::uint64_t>(
+        span - 1,
+        static_cast<std::uint64_t>(std::ceil(spec.initiation_interval)) - 1);
+    b.ii_cycles += ii_extra;
+    b.stall_cycles += span - 1 - ii_extra;
+    cursor = next;
+  }
+  b.drain_cycles = spec.depth;
+  b.total_cycles = cursor + spec.depth;
+  return b;
+}
+
+}  // namespace rat::rcsim

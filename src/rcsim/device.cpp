@@ -1,0 +1,77 @@
+#include "rcsim/device.hpp"
+
+#include <stdexcept>
+
+namespace rat::rcsim {
+
+std::int64_t Device::dsp_per_multiplier(int operand_bits) const {
+  if (operand_bits <= 0 || operand_bits > 64)
+    throw std::invalid_argument("dsp_per_multiplier: width out of (0,64]");
+  switch (family) {
+    case Family::kXilinxVirtex4: {
+      // One DSP48 multiplies 18x18 signed. Wider multiplies are built from
+      // 17-bit partial products; the vendor mapping for 32-bit fixed point
+      // uses two DSP48s with fabric correction (paper §3.3), and four for
+      // widths up to 35 bits when a full-precision product is needed.
+      if (operand_bits <= 18) return 1;
+      if (operand_bits <= 32) return 2;
+      if (operand_bits <= 35) return 4;
+      return 8;
+    }
+    case Family::kAlteraStratix2: {
+      // Stratix-II DSP blocks are counted in 9-bit elements: an 18x18
+      // multiply consumes 2 elements, a 36x36 multiply consumes 8.
+      if (operand_bits <= 9) return 1;
+      if (operand_bits <= 18) return 2;
+      if (operand_bits <= 36) return 8;
+      return 16;
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+std::int64_t Device::bytes_per_bram() const {
+  switch (family) {
+    case Family::kXilinxVirtex4:
+      return 18 * 1024 / 8;  // 18-Kbit block RAM
+    case Family::kAlteraStratix2:
+      return (4 * 1024 + 512) / 8;  // M4K: 4 Kbit + 512 parity bits = 576 B
+  }
+  throw std::logic_error("unreachable");
+}
+
+std::int64_t Device::bram_for_bytes(std::int64_t bytes) const {
+  if (bytes < 0) throw std::invalid_argument("bram_for_bytes: negative");
+  const std::int64_t per = bytes_per_bram();
+  return (bytes + per - 1) / per;
+}
+
+Device virtex4_lx100() {
+  Device d;
+  d.name = "Xilinx Virtex-4 LX100";
+  d.family = Family::kXilinxVirtex4;
+  d.inventory = DeviceResources{96, 240, 49152};
+  d.dsp_unit_name = "DSP48";
+  d.bram_unit_name = "BRAM18";
+  d.logic_unit_name = "slices";
+  return d;
+}
+
+Device stratix2_ep2s180() {
+  Device d;
+  d.name = "Altera Stratix-II EP2S180";
+  d.family = Family::kAlteraStratix2;
+  d.inventory = DeviceResources{768, 768, 143520};
+  d.dsp_unit_name = "9-bit DSP";
+  d.bram_unit_name = "M4K";
+  d.logic_unit_name = "ALUTs";
+  return d;
+}
+
+Device device_by_name(const std::string& name) {
+  if (name == "lx100") return virtex4_lx100();
+  if (name == "ep2s180") return stratix2_ep2s180();
+  throw std::invalid_argument("device_by_name: unknown device " + name);
+}
+
+}  // namespace rat::rcsim

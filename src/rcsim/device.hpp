@@ -1,0 +1,54 @@
+// FPGA device catalog.
+//
+// The paper's case studies target two parts: a Xilinx Virtex-4 LX100 (on
+// the Nallatech H101-PCIXM card) and an Altera Stratix-II EP2S180 (on the
+// XtremeData XD1000 module). We model each device as a named inventory of
+// the three resource classes the RAT resource test tracks, plus the
+// vendor-specific cost of a fixed-point multiplier at a given bit width
+// (paper §3.3: "32-bit fixed-point multiplications on Xilinx V4 FPGAs
+// require two dedicated 18-bit multipliers").
+#pragma once
+
+#include <string>
+
+#include "rcsim/resources.hpp"
+
+namespace rat::rcsim {
+
+/// FPGA family; selects the vendor-specific DSP cost model.
+enum class Family {
+  kXilinxVirtex4,   ///< DSP48 blocks (18x18 multiplier + 48-bit accumulator)
+  kAlteraStratix2,  ///< 9-bit DSP elements grouped into DSP blocks
+};
+
+struct Device {
+  std::string name;
+  Family family = Family::kXilinxVirtex4;
+  DeviceResources inventory;
+  std::string dsp_unit_name;    ///< "DSP48" / "9-bit DSP"
+  std::string bram_unit_name;   ///< "BRAM18" / "M4K"
+  std::string logic_unit_name;  ///< "slices" / "ALUTs"
+
+  /// Number of DSP units a single fixed-point multiplier of the given
+  /// operand width consumes on this family. Throws for widths > 64.
+  std::int64_t dsp_per_multiplier(int operand_bits) const;
+
+  /// Number of BRAM units needed to hold @p bytes of on-chip storage.
+  std::int64_t bram_for_bytes(std::int64_t bytes) const;
+
+  /// Bytes of storage per BRAM unit on this family.
+  std::int64_t bytes_per_bram() const;
+};
+
+/// Xilinx Virtex-4 LX100: 96 DSP48s, 240 18-Kbit BRAMs, 49152 slices.
+Device virtex4_lx100();
+
+/// Altera Stratix-II EP2S180: 768 9-bit DSP elements, 768 M4K RAM blocks,
+/// 143520 ALUTs.
+Device stratix2_ep2s180();
+
+/// Lookup by name ("lx100", "ep2s180"); throws std::invalid_argument for
+/// unknown names.
+Device device_by_name(const std::string& name);
+
+}  // namespace rat::rcsim

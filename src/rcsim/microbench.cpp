@@ -1,0 +1,68 @@
+#include "rcsim/microbench.hpp"
+
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace rat::rcsim {
+
+Microbench::Microbench(const Link& link, int repeats, std::uint64_t seed)
+    : link_(link), repeats_(repeats), rng_(seed) {
+  if (repeats_ <= 0) throw std::invalid_argument("Microbench: repeats <= 0");
+}
+
+AlphaSample Microbench::measure(std::size_t bytes, Direction dir) {
+  // A microbenchmark issues isolated transfers (no application re-arm
+  // cost); with jitter enabled, averaging over repeats mirrors how one
+  // would time a real bus.
+  double total = 0.0;
+  for (int i = 0; i < repeats_; ++i) {
+    double t = link_.single_transfer_time(bytes, dir);
+    if (link_.jitter() > 0.0)
+      t *= rng_.uniform(1.0 - link_.jitter(), 1.0 + link_.jitter());
+    total += t;
+  }
+  AlphaSample s;
+  s.bytes = bytes;
+  s.dir = dir;
+  s.time_sec = total / repeats_;
+  const double ideal = static_cast<double>(bytes) / link_.documented_bw();
+  s.alpha = bytes == 0 ? 0.0 : ideal / s.time_sec;
+  return s;
+}
+
+std::vector<AlphaSample> Microbench::sweep(
+    const std::vector<std::size_t>& sizes) {
+  std::vector<AlphaSample> out;
+  out.reserve(sizes.size() * 2);
+  for (std::size_t bytes : sizes) {
+    out.push_back(measure(bytes, Direction::kHostToFpga));
+    out.push_back(measure(bytes, Direction::kFpgaToHost));
+  }
+  return out;
+}
+
+std::vector<AlphaSample> Microbench::sweep_default() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 256; s <= (4u << 20); s *= 2) sizes.push_back(s);
+  return sweep(sizes);
+}
+
+CommAlphas Microbench::derive_alphas(std::size_t probe_bytes) {
+  CommAlphas a;
+  a.alpha_write = measure(probe_bytes, Direction::kHostToFpga).alpha;
+  a.alpha_read = measure(probe_bytes, Direction::kFpgaToHost).alpha;
+  return a;
+}
+
+util::Table Microbench::to_table(const std::vector<AlphaSample>& samples) {
+  util::Table t({"size", "direction", "time (s)", "alpha"});
+  for (const auto& s : samples) {
+    t.add_row({util::bytes(static_cast<double>(s.bytes)),
+               s.dir == Direction::kHostToFpga ? "host->FPGA" : "FPGA->host",
+               util::sci(s.time_sec), util::fixed(s.alpha, 3)});
+  }
+  return t;
+}
+
+}  // namespace rat::rcsim

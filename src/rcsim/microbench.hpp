@@ -1,0 +1,63 @@
+// Interconnect microbenchmarks.
+//
+// RAT obtains its alpha parameters by running "microbenchmarks composed of
+// simple data transfers" on the target platform and dividing the measured
+// rate by the documented maximum (paper §3.1, §4.2). We reproduce that
+// workflow against the simulated bus: sweep transfer sizes, tabulate
+// alpha(size, direction), and derive the alphas for a RAT worksheet from a
+// probe size "comparable to one used by the algorithm".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rcsim/interconnect.hpp"
+#include "util/table.hpp"
+
+namespace rat::rcsim {
+
+/// One microbenchmark sample.
+struct AlphaSample {
+  std::size_t bytes = 0;
+  Direction dir = Direction::kHostToFpga;
+  double time_sec = 0.0;
+  double alpha = 0.0;
+};
+
+/// The alpha pair a RAT worksheet needs (paper naming: "write" is
+/// host->FPGA input, "read" is FPGA->host output).
+struct CommAlphas {
+  double alpha_write = 0.0;  ///< host->FPGA
+  double alpha_read = 0.0;   ///< FPGA->host
+};
+
+class Microbench {
+ public:
+  /// @param repeats  how many transfers are averaged per sample; matters
+  ///                 only when the link has jitter enabled.
+  explicit Microbench(const Link& link, int repeats = 16,
+                      std::uint64_t seed = 0x5eed);
+
+  /// Measure a single (size, direction) point.
+  AlphaSample measure(std::size_t bytes, Direction dir);
+
+  /// Sweep a list of sizes in both directions.
+  std::vector<AlphaSample> sweep(const std::vector<std::size_t>& sizes);
+
+  /// Default power-of-two sweep from 256 B to 4 MB.
+  std::vector<AlphaSample> sweep_default();
+
+  /// Derive worksheet alphas from one probe size (the paper probed at the
+  /// application's transfer size, 2 KB for the 1-D PDF).
+  CommAlphas derive_alphas(std::size_t probe_bytes);
+
+  /// Render a sweep as a size x direction table.
+  static util::Table to_table(const std::vector<AlphaSample>& samples);
+
+ private:
+  const Link& link_;
+  int repeats_;
+  util::Rng rng_;
+};
+
+}  // namespace rat::rcsim

@@ -1,0 +1,52 @@
+// Multi-board execution on a shared host interconnect.
+//
+// Simulated counterpart of core::predict_scaling: k FPGAs split each
+// iteration's elements; every board's transfers serialize on the single
+// host bus while the boards compute in parallel. Double buffered per
+// board, so in steady state the iteration time is max(total bus time,
+// slowest board's compute) — the analytic model's assumption, here derived
+// from an explicit schedule instead of assumed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rcsim/interconnect.hpp"
+#include "rcsim/timeline.hpp"
+
+namespace rat::rcsim {
+
+struct BoardShare {
+  std::size_t input_bytes = 0;
+  std::size_t output_bytes = 0;
+  std::uint64_t cycles = 0;
+};
+
+struct MultiBoardWorkload {
+  /// Per-board share of one iteration (size = board count, >= 1).
+  std::vector<BoardShare> boards;
+  std::size_t n_iterations = 1;
+};
+
+struct MultiBoardResult {
+  double t_total_sec = 0.0;
+  double t_bus_busy_sec = 0.0;       ///< total transfer time on the shared bus
+  double t_comp_busy_max_sec = 0.0;  ///< busiest single board's compute time
+  Timeline timeline;                 ///< bus lane + aggregated compute lane
+};
+
+/// Execute with double buffering per board. Boards prefetch iteration i+1
+/// while computing i; the bus serves transfers in board order.
+MultiBoardResult execute_multiboard(const MultiBoardWorkload& workload,
+                                    const Link& link, double fclock_hz);
+
+/// Convenience: split @p elements_in/out evenly over @p boards (ceiling
+/// share on the earlier boards) with @p cycles_fn giving per-board cycles
+/// from its element share.
+MultiBoardWorkload split_evenly(
+    std::size_t elements_in, std::size_t elements_out,
+    double bytes_per_element, int boards, std::size_t n_iterations,
+    const std::function<std::uint64_t(std::size_t)>& cycles_fn);
+
+}  // namespace rat::rcsim

@@ -1,0 +1,27 @@
+#include "rcsim/pipeline.hpp"
+
+#include <cmath>
+
+namespace rat::rcsim {
+
+std::uint64_t pipeline_cycles(const PipelineSpec& spec, std::uint64_t items) {
+  spec.validate();
+  if (items == 0) return 0;
+  const std::uint64_t per_instance =
+      (items + spec.instances - 1) / spec.instances;
+  const double steady =
+      static_cast<double>(per_instance) *
+      (spec.initiation_interval + spec.stall_per_item);
+  return static_cast<std::uint64_t>(std::ceil(steady)) + spec.depth;
+}
+
+double effective_ops_per_cycle(const PipelineSpec& spec, std::uint64_t items) {
+  const std::uint64_t cycles = pipeline_cycles(spec, items);
+  if (cycles == 0) return 0.0;
+  // All instances work on disjoint shares of the items, so total ops is
+  // items * ops_per_item regardless of the instance count.
+  return static_cast<double>(items) * spec.ops_per_item /
+         static_cast<double>(cycles);
+}
+
+}  // namespace rat::rcsim

@@ -1,0 +1,57 @@
+#include "rcsim/platform.hpp"
+
+#include <stdexcept>
+
+namespace rat::rcsim {
+
+Platform nallatech_h101() {
+  Platform p{
+      "Nallatech H101-PCIXM",
+      virtex4_lx100(),
+      nallatech_pcix_link(),
+      /*host_sync_sec=*/1.7e-5,
+      /*candidate_clocks_hz=*/{75e6, 100e6, 150e6},
+      /*practical_fill_limit=*/0.9,
+  };
+  return p;
+}
+
+Platform xd1000() {
+  Platform p{
+      "XtremeData XD1000",
+      stratix2_ep2s180(),
+      xd1000_ht_link(),
+      /*host_sync_sec=*/5.0e-6,
+      /*candidate_clocks_hz=*/{75e6, 100e6, 150e6},
+      /*practical_fill_limit=*/0.9,
+  };
+  return p;
+}
+
+Platform generic_pcie_x4() {
+  Platform p{
+      "Generic PCIe x4 card",
+      virtex4_lx100(),
+      Link("Generic PCIe x4",
+           /*documented_bw=*/1.0e9,
+           LinkDirection{/*fixed_overhead_sec=*/1.2e-6,
+                         /*sustained_bw=*/8.5e8,
+                         /*rearm_sec=*/1.5e-6},
+           LinkDirection{/*fixed_overhead_sec=*/1.8e-6,
+                         /*sustained_bw=*/8.0e8,
+                         /*rearm_sec=*/1.5e-6}),
+      /*host_sync_sec=*/6.0e-6,
+      /*candidate_clocks_hz=*/{75e6, 100e6, 150e6},
+      /*practical_fill_limit=*/0.9,
+  };
+  return p;
+}
+
+Platform platform_by_name(const std::string& name) {
+  if (name == "nallatech_h101") return nallatech_h101();
+  if (name == "xd1000") return xd1000();
+  if (name == "generic_pcie_x4") return generic_pcie_x4();
+  throw std::invalid_argument("platform_by_name: unknown platform " + name);
+}
+
+}  // namespace rat::rcsim

@@ -1,0 +1,45 @@
+// RC platform catalog: device + interconnect + host-side behaviour.
+//
+// A Platform bundles everything a RAT analysis needs to know about the
+// target system: the FPGA device inventory, the interconnect model, the
+// per-iteration host synchronization cost, and the clock frequencies a
+// designer would plausibly sweep (the paper examines 75/100/150 MHz on
+// both parts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rcsim/device.hpp"
+#include "rcsim/interconnect.hpp"
+
+namespace rat::rcsim {
+
+struct Platform {
+  std::string name;
+  Device device;
+  Link link;
+  /// Host driver/API cost per iteration (see ExecutionConfig::host_sync_sec).
+  double host_sync_sec = 0.0;
+  /// Candidate fabric clock frequencies (Hz) for the RAT sweep.
+  std::vector<double> candidate_clocks_hz;
+  /// Practical logic fill limit before routing strain (paper §3.3).
+  double practical_fill_limit = 0.9;
+};
+
+/// Nallatech H101-PCIXM: Virtex-4 LX100 behind 133 MHz PCI-X.
+Platform nallatech_h101();
+
+/// XtremeData XD1000: Stratix-II EP2S180 on HyperTransport.
+Platform xd1000();
+
+/// A generic PCIe x4 card of the same era: documented 1 GB/s, better
+/// sustained efficiency and smaller per-transfer overheads than the
+/// Nallatech PCI-X stack, with a Virtex-4 LX100-class device. Exists as a
+/// porting-study comparison point (the paper's "FPGA platform choices").
+Platform generic_pcie_x4();
+
+/// Lookup by name ("nallatech_h101", "xd1000", "generic_pcie_x4").
+Platform platform_by_name(const std::string& name);
+
+}  // namespace rat::rcsim

@@ -1,0 +1,87 @@
+// FPGA resource accounting.
+//
+// RAT's resource test (paper §3.3) tracks three resource classes that
+// empirically bound design size: dedicated multiply units (DSPs), on-chip
+// RAM blocks (BRAMs) and basic logic elements (slices / ALUTs). This header
+// defines the usage record, the aggregating tracker, and utilization
+// reports against a device inventory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rat::rcsim {
+
+/// Absolute resource counts consumed by (part of) a design.
+struct ResourceUsage {
+  std::int64_t dsp = 0;    ///< dedicated multiplier/DSP units
+  std::int64_t bram = 0;   ///< on-chip RAM blocks
+  std::int64_t logic = 0;  ///< basic logic elements (slices or ALUTs)
+
+  ResourceUsage& operator+=(const ResourceUsage& other);
+  friend ResourceUsage operator+(ResourceUsage a, const ResourceUsage& b) {
+    return a += b;
+  }
+  /// Scale by an instance count (e.g. 8 identical pipelines).
+  friend ResourceUsage operator*(ResourceUsage u, std::int64_t n);
+  bool operator==(const ResourceUsage&) const = default;
+};
+
+/// Device inventory (what the chip provides).
+struct DeviceResources {
+  std::int64_t dsp = 0;
+  std::int64_t bram = 0;
+  std::int64_t logic = 0;
+};
+
+/// Fractional utilization of a device by a usage record.
+struct UtilizationReport {
+  double dsp_fraction = 0.0;
+  double bram_fraction = 0.0;
+  double logic_fraction = 0.0;
+
+  /// Largest of the three fractions — the binding resource.
+  double max_fraction() const;
+  /// Name of the binding resource class ("dsp", "bram" or "logic").
+  std::string binding_resource() const;
+};
+
+UtilizationReport utilization(const ResourceUsage& used,
+                              const DeviceResources& available);
+
+/// Aggregates the usage of named design components and checks feasibility.
+/// The paper notes routing strain grows steeply near full logic utilization,
+/// so feasibility uses a practical fill limit below 100%.
+class ResourceTracker {
+ public:
+  explicit ResourceTracker(DeviceResources available,
+                           double practical_fill_limit = 0.9);
+
+  /// Record a component's usage. Returns the running total.
+  const ResourceUsage& add(const std::string& component,
+                           const ResourceUsage& usage);
+
+  const ResourceUsage& total() const { return total_; }
+  const DeviceResources& available() const { return available_; }
+  UtilizationReport report() const;
+
+  /// True when every resource class fits under the practical fill limit
+  /// (logic) / hard limit (dsp, bram — discrete units either exist or not).
+  bool feasible() const;
+
+  /// Per-component breakdown, in insertion order.
+  struct Component {
+    std::string name;
+    ResourceUsage usage;
+  };
+  const std::vector<Component>& components() const { return components_; }
+
+ private:
+  DeviceResources available_;
+  double fill_limit_;
+  ResourceUsage total_;
+  std::vector<Component> components_;
+};
+
+}  // namespace rat::rcsim

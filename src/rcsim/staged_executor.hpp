@@ -1,0 +1,40 @@
+// Multi-stage workload execution on a single platform.
+//
+// Simulated counterpart of core::predict_composite (sequential mode): each
+// iteration runs several kernel stages back-to-back on one fabric, with
+// configurable on-chip hand-off between consecutive stages (skipping the
+// intermediate bus crossings). Lets the analytic composition model be
+// validated against a schedule that honours bus/fabric serialization.
+#pragma once
+
+#include <vector>
+
+#include "rcsim/executor.hpp"
+
+namespace rat::rcsim {
+
+/// One kernel stage of a staged workload.
+struct StageWorkload {
+  /// Input bytes fetched before this stage computes (ignored when the
+  /// previous stage hands off on-chip).
+  std::size_t input_bytes = 0;
+  /// Output bytes returned after this stage computes (ignored when this
+  /// stage hands off on-chip).
+  std::size_t output_bytes = 0;
+  std::uint64_t cycles = 0;
+  bool handoff_on_chip = false;  ///< feed the next stage without the bus
+};
+
+struct StagedWorkload {
+  std::vector<StageWorkload> stages;
+  std::size_t n_iterations = 1;
+};
+
+/// Execute all stages of every iteration in order (single buffered; the
+/// stage chain shares one buffer set). The final stage must return its
+/// output over the bus. Throws std::invalid_argument on malformed input.
+ExecutionResult execute_staged(const StagedWorkload& workload,
+                               const Link& link,
+                               const ExecutionConfig& config);
+
+}  // namespace rat::rcsim

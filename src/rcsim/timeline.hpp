@@ -1,0 +1,65 @@
+// Execution event timeline + ASCII Gantt rendering (reproduces Figure 2).
+//
+// The executor records every bus transfer and fabric computation as an
+// interval on one of two lanes ("Comm", "Comp"); the renderer draws the
+// paper's overlap diagrams — single buffered, double buffered
+// computation-bound and double buffered communication-bound.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rat::rcsim {
+
+enum class EventKind {
+  kInputTransfer,   ///< host->FPGA (Fig. 2 "R")
+  kOutputTransfer,  ///< FPGA->host (Fig. 2 "W")
+  kCompute,         ///< fabric busy (Fig. 2 "C")
+  kHostSync,        ///< per-iteration driver synchronization
+};
+
+struct Event {
+  EventKind kind = EventKind::kCompute;
+  std::size_t iteration = 0;
+  double start_sec = 0.0;
+  double end_sec = 0.0;
+
+  double duration() const { return end_sec - start_sec; }
+};
+
+class Timeline {
+ public:
+  void add(Event e);
+
+  const std::vector<Event>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Makespan: end of the latest event (0 when empty).
+  double end_sec() const;
+
+  /// Total busy time of the communication lane (transfers only, sync
+  /// excluded) and of the computation lane.
+  double comm_busy_sec() const;
+  double comp_busy_sec() const;
+  double sync_busy_sec() const;
+
+  /// Verify no two events on the same lane overlap (the bus and the fabric
+  /// are each a single resource). Returns false on violation.
+  bool lanes_consistent() const;
+
+  /// ASCII Gantt chart in the style of the paper's Figure 2: a "Comm" row
+  /// of R#/W# blocks and a "Comp" row of C# blocks, scaled to @p width
+  /// character columns.
+  std::string to_gantt(std::size_t width = 100) const;
+
+  /// Chrome-tracing JSON (chrome://tracing / Perfetto "traceEvents"
+  /// format): one complete event per interval, comm and comp as separate
+  /// tracks. Times are exported in microseconds.
+  std::string to_chrome_trace() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace rat::rcsim

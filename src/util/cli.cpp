@@ -1,0 +1,73 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rat::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg.erase(0, 2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos)
+        values_[arg] = "true";
+      else
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::optional<std::string> Cli::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Cli::get_or(const std::string& key,
+                        const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double x = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0')
+    throw std::invalid_argument("Cli: --" + key + " is not a number: " + *v);
+  return x;
+}
+
+long long Cli::get_int(const std::string& key, long long fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long x = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0')
+    throw std::invalid_argument("Cli: --" + key + " is not an integer: " + *v);
+  return x;
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("Cli: --" + key + " is not a boolean: " + *v);
+}
+
+std::vector<std::string> Cli::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace rat::util

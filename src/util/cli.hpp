@@ -1,0 +1,42 @@
+// Minimal command-line flag parser for the example/bench executables.
+//
+// Accepts "--key=value" and "--flag" forms; anything else is a positional
+// argument. Unknown keys are kept so callers can report them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rat::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+  bool has(const std::string& key) const;
+
+  /// String value of --key=value, or nullopt when absent.
+  std::optional<std::string> get(const std::string& key) const;
+
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All parsed --keys, for "unknown flag" diagnostics.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rat::util

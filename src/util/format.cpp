@@ -1,0 +1,80 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rat::util {
+
+std::string sci(double value, int sig_figs) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  // %E gives "5.56E-06"; strip the leading zero of the exponent and any '+'.
+  std::snprintf(buf, sizeof(buf), "%.*E", std::max(0, sig_figs - 1), value);
+  std::string s(buf);
+  auto epos = s.find('E');
+  if (epos == std::string::npos) return s;
+  std::string mantissa = s.substr(0, epos);
+  std::string exp = s.substr(epos + 1);
+  bool neg = false;
+  if (!exp.empty() && (exp[0] == '+' || exp[0] == '-')) {
+    neg = exp[0] == '-';
+    exp.erase(0, 1);
+  }
+  while (exp.size() > 1 && exp[0] == '0') exp.erase(0, 1);
+  return mantissa + "E" + (neg ? "-" : "") + exp;
+}
+
+std::string percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string bytes(double n) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (std::fabs(n) >= 1024.0 && u < 4) {
+    n /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", n, units[u]);
+  return buf;
+}
+
+std::string si(double value, const std::string& unit) {
+  static const char* prefixes[] = {"", "K", "M", "G", "T"};
+  int p = 0;
+  while (std::fabs(value) >= 1000.0 && p < 4) {
+    value /= 1000.0;
+    ++p;
+  }
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%g %s%s", value, prefixes[p], unit.c_str());
+  return buf;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+bool approx_equal(double a, double b, double rel_tol) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) <= rel_tol * scale;
+}
+
+}  // namespace rat::util

@@ -1,0 +1,36 @@
+// Numeric formatting helpers used by worksheets, tables and benches.
+//
+// The paper reports times in scientific notation with three significant
+// figures ("5.56E-6 secs") and utilizations as integer percentages; these
+// helpers reproduce that style so our output is directly comparable.
+#pragma once
+
+#include <string>
+
+namespace rat::util {
+
+/// Format @p value like the paper's tables: "5.56E-6". Three significant
+/// figures, uppercase exponent marker, no '+' on positive exponents.
+std::string sci(double value, int sig_figs = 3);
+
+/// Format as a percentage with @p decimals fractional digits: "15%", "0.4%".
+/// @p fraction is in [0,1] units (0.15 -> "15%").
+std::string percent(double fraction, int decimals = 0);
+
+/// Fixed-point decimal with @p decimals fractional digits ("10.6").
+std::string fixed(double value, int decimals = 1);
+
+/// Human-readable byte count ("2.0 KB", "1.0 GB"); powers of 1024.
+std::string bytes(double n);
+
+/// Human-readable SI rate, e.g. hertz or ops/s ("150 MHz" with unit="Hz").
+std::string si(double value, const std::string& unit);
+
+/// Left-pad / right-pad a string with spaces to @p width.
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// True when |a-b| <= tol * max(|a|,|b|,1e-300). Used throughout tests.
+bool approx_equal(double a, double b, double rel_tol = 1e-9);
+
+}  // namespace rat::util

@@ -1,0 +1,51 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/format.hpp"
+
+namespace rat::util {
+
+std::string ascii_histogram(std::span<const double> values,
+                            const HistogramOptions& options) {
+  if (values.empty())
+    throw std::invalid_argument("ascii_histogram: no values");
+  if (options.n_bins == 0 || options.max_bar_width == 0)
+    throw std::invalid_argument("ascii_histogram: zero bins or width");
+
+  double lo = options.lo, hi = options.hi;
+  if (!(lo < hi)) {
+    lo = *std::min_element(values.begin(), values.end());
+    hi = *std::max_element(values.begin(), values.end());
+    if (lo == hi) hi = lo + 1.0;  // degenerate: single-valued data
+  }
+
+  std::vector<std::size_t> counts(options.n_bins, 0);
+  for (double v : values) {
+    const double pos = (v - lo) / (hi - lo);
+    const auto bin = static_cast<std::size_t>(
+        std::clamp(pos * static_cast<double>(options.n_bins), 0.0,
+                   static_cast<double>(options.n_bins) - 1.0));
+    ++counts[bin];
+  }
+  const std::size_t peak = *std::max_element(counts.begin(), counts.end());
+
+  std::ostringstream os;
+  for (std::size_t b = 0; b < options.n_bins; ++b) {
+    const double b_lo = lo + (hi - lo) * static_cast<double>(b) /
+                                 static_cast<double>(options.n_bins);
+    const double b_hi = lo + (hi - lo) * static_cast<double>(b + 1) /
+                                 static_cast<double>(options.n_bins);
+    const std::size_t bar =
+        peak ? counts[b] * options.max_bar_width / peak : 0;
+    os << pad_left(fixed(b_lo, 2), 9) << " .. " << pad_left(fixed(b_hi, 2), 9)
+       << " |" << std::string(bar, '#') << ' ' << counts[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rat::util

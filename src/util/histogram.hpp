@@ -1,0 +1,23 @@
+// ASCII histograms for terminal reports (Monte-Carlo speedup bands,
+// microbenchmark distributions).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace rat::util {
+
+struct HistogramOptions {
+  std::size_t n_bins = 20;
+  std::size_t max_bar_width = 50;
+  /// Optional fixed range; when lo >= hi the data range is used.
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Render a histogram of @p values, one "lo..hi | ####### count" line per
+/// bin. Throws std::invalid_argument on empty input or zero bins.
+std::string ascii_histogram(std::span<const double> values,
+                            const HistogramOptions& options = {});
+
+}  // namespace rat::util

@@ -1,0 +1,46 @@
+// Leveled logging to stderr. Intentionally tiny: the library itself never
+// logs on hot paths; logging exists for the examples, benches and the
+// methodology trace.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rat::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single log line ("[warn] message") to stderr when enabled.
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace rat::util

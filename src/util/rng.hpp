@@ -1,0 +1,42 @@
+// Deterministic, seedable random number generation for workload synthesis.
+//
+// Every experiment in this repository must be exactly reproducible from a
+// seed, so we carry our own small generator (SplitMix64) instead of relying
+// on unspecified standard-library distributions.
+#pragma once
+
+#include <cstdint>
+
+namespace rat::util {
+
+/// SplitMix64 PRNG. Tiny state, passes BigCrush, and its output stream is
+/// fully specified — identical across compilers and platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). @p n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (deterministic; one cached value).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+ private:
+  std::uint64_t state_;
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace rat::util

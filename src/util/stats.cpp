@@ -1,0 +1,84 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rat::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double min_of(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  if (!s.count()) throw std::invalid_argument("min_of: empty");
+  return s.min();
+}
+
+double max_of(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  if (!s.count()) throw std::invalid_argument("max_of: empty");
+  return s.max();
+}
+
+double percent_error(double expected, double actual) {
+  if (expected == 0.0) throw std::invalid_argument("percent_error: expected=0");
+  return (actual - expected) / expected * 100.0;
+}
+
+bool same_order_of_magnitude(double expected, double actual) {
+  if (expected <= 0.0 || actual <= 0.0) return false;
+  return std::fabs(std::log10(actual / expected)) < 1.0;
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("rmse: size mismatch or empty");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("max_abs_diff: size mismatch or empty");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::fmax(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace rat::util

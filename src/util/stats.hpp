@@ -1,0 +1,50 @@
+// Small statistics helpers for validation (predicted-vs-actual comparisons)
+// and for workload/error analysis.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace rat::util {
+
+/// Online mean/variance accumulator (Welford). Numerically stable for the
+/// long error-sample streams produced by the precision sweeps.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Signed percent error of @p actual relative to @p expected, in percent
+/// units (predicted 10.6 vs actual 7.8 -> ~ -26.4).
+double percent_error(double expected, double actual);
+
+/// |log10(actual/expected)| < 1, i.e. "same order of magnitude" as the paper
+/// uses the phrase when judging the MD prediction.
+bool same_order_of_magnitude(double expected, double actual);
+
+/// Root-mean-square error between two equal-length sequences.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Maximum absolute elementwise difference.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+}  // namespace rat::util

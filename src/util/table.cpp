@@ -1,0 +1,119 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace rat::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no columns");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::size_t Table::num_rows() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_)
+    if (!r.separator) ++n;
+  return n;
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) {
+    if (r.separator) continue;
+    if (n == row) return r.cells.at(col);
+    ++n;
+  }
+  throw std::out_of_range("Table::cell");
+}
+
+std::vector<std::size_t> Table::column_widths() const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      w[c] = std::max(w[c], r.cells[c].size());
+  }
+  return w;
+}
+
+std::string Table::to_ascii() const {
+  const auto w = column_widths();
+  std::ostringstream os;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < w.size(); ++c)
+      os << '+' << std::string(w[c] + 2, '-');
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < w.size(); ++c)
+      os << "| " << pad_right(c < cells.size() ? cells[c] : "", w[c]) << ' ';
+    os << "|\n";
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& r : rows_) {
+    if (r.separator)
+      rule();
+    else
+      line(r.cells);
+  }
+  rule();
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      os << ' ' << (c < cells.size() ? cells[c] : "") << " |";
+    os << '\n';
+  };
+  line(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& r : rows_)
+    if (!r.separator) line(r.cells);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ',';
+      os << escape(c < cells.size() ? cells[c] : "");
+    }
+    os << '\n';
+  };
+  line(headers_);
+  for (const auto& r : rows_)
+    if (!r.separator) line(r.cells);
+  return os.str();
+}
+
+}  // namespace rat::util

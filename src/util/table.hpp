@@ -1,0 +1,47 @@
+// Minimal column-oriented table renderer.
+//
+// The RAT worksheet (paper Tables 2/3/5/6/8/9) is fundamentally a small
+// table of labelled values; this class renders those in three formats:
+// ASCII (for terminals), Markdown (for EXPERIMENTS.md) and CSV (for
+// downstream plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rat::util {
+
+class Table {
+ public:
+  /// Create a table with one header cell per column.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a data row; must have exactly as many cells as there are
+  /// columns (checked, throws std::invalid_argument otherwise).
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a visual separator row (rendered as a rule in ASCII output).
+  void add_separator();
+
+  std::size_t num_columns() const { return headers_.size(); }
+  std::size_t num_rows() const;
+
+  /// Cell accessor for tests; row indexes data rows only (separators skipped).
+  const std::string& cell(std::size_t row, std::size_t col) const;
+
+  std::string to_ascii() const;
+  std::string to_markdown() const;
+  std::string to_csv() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::size_t> column_widths() const;
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rat::util

@@ -1,0 +1,218 @@
+#include "apps/convolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/throughput.hpp"
+#include "fixedpoint/error_analysis.hpp"
+
+namespace rat::apps {
+namespace {
+
+ConvConfig small_cfg() {
+  ConvConfig cfg;
+  cfg.width = 48;
+  cfg.height = 32;
+  cfg.kernel_size = 5;
+  return cfg;
+}
+
+TEST(ConvConfig, Validation) {
+  ConvConfig c = small_cfg();
+  c.width = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_cfg();
+  c.kernel_size = 4;  // even
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_cfg();
+  c.kernel_size = 49;  // bigger than height
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_cfg();
+  c.bytes_per_pixel = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Kernels, NormalizationAndShape) {
+  const auto box = box_kernel(5);
+  EXPECT_NEAR(std::accumulate(box.begin(), box.end(), 0.0), 1.0, 1e-12);
+  const auto gauss = gaussian_kernel(5);
+  EXPECT_NEAR(std::accumulate(gauss.begin(), gauss.end(), 0.0), 1.0, 1e-12);
+  EXPECT_GT(gauss[12], gauss[0]);  // centre dominates corners
+  const auto ident = identity_kernel(3);
+  EXPECT_DOUBLE_EQ(ident[4], 1.0);
+  EXPECT_DOUBLE_EQ(std::accumulate(ident.begin(), ident.end(), 0.0), 1.0);
+  EXPECT_THROW(box_kernel(4), std::invalid_argument);
+  EXPECT_THROW(gaussian_kernel(0), std::invalid_argument);
+}
+
+TEST(SyntheticFrame, DeterministicAndInRange) {
+  const ConvConfig cfg = small_cfg();
+  const Image a = synthetic_frame(cfg, 5);
+  EXPECT_EQ(a, synthetic_frame(cfg, 5));
+  EXPECT_NE(a, synthetic_frame(cfg, 6));
+  for (double v : a) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Convolve2d, IdentityKernelIsIdentity) {
+  const ConvConfig cfg = small_cfg();
+  const Image img = synthetic_frame(cfg, 7);
+  const Image out = convolve2d(img, identity_kernel(cfg.kernel_size), cfg);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    ASSERT_NEAR(out[i], img[i], 1e-12);
+}
+
+TEST(Convolve2d, BoxBlurSmoothes) {
+  const ConvConfig cfg = small_cfg();
+  const Image img = synthetic_frame(cfg, 9);
+  const Image out = convolve2d(img, box_kernel(cfg.kernel_size), cfg);
+  // Interior total variation (sum of |horizontal gradient| away from the
+  // zero-padded border, which the blur steepens) must shrink.
+  auto variation = [&](const Image& im) {
+    double tv = 0.0;
+    const std::size_t m = cfg.kernel_size;  // border margin
+    for (std::size_t y = m; y < cfg.height - m; ++y)
+      for (std::size_t x = m + 1; x < cfg.width - m; ++x)
+        tv += std::fabs(im[y * cfg.width + x] - im[y * cfg.width + x - 1]);
+    return tv;
+  };
+  EXPECT_LT(variation(out), variation(img) * 0.8);
+}
+
+TEST(Convolve2d, ZeroPaddingDimsBorders) {
+  const ConvConfig cfg = small_cfg();
+  const Image ones(cfg.pixels(), 0.9);
+  const Image out = convolve2d(ones, box_kernel(5), cfg);
+  // Interior preserves the level; the corner sees only 9 of 25 taps.
+  EXPECT_NEAR(out[(cfg.height / 2) * cfg.width + cfg.width / 2], 0.9,
+              1e-12);
+  EXPECT_NEAR(out[0], 0.9 * 9.0 / 25.0, 1e-12);
+}
+
+TEST(Convolve2d, OpCountMatchesFormula) {
+  const ConvConfig cfg = small_cfg();
+  const Image img = synthetic_frame(cfg, 11);
+  OpCounter ops;
+  convolve2d_counted(img, box_kernel(5), cfg, ops);
+  EXPECT_EQ(ops.total_unit_weight(), 2ull * 25ull * cfg.pixels());
+}
+
+TEST(ConvolveSeparable, MatchesFull2dForProductKernels) {
+  const ConvConfig cfg = small_cfg();
+  const Image img = synthetic_frame(cfg, 19);
+  const auto factor = gaussian_factor(cfg.kernel_size);
+  // Outer-product kernel for the full 2-D reference.
+  std::vector<double> outer(cfg.kernel_size * cfg.kernel_size);
+  for (std::size_t i = 0; i < cfg.kernel_size; ++i)
+    for (std::size_t j = 0; j < cfg.kernel_size; ++j)
+      outer[i * cfg.kernel_size + j] = factor[i] * factor[j];
+  const Image full = convolve2d(img, outer, cfg);
+  const Image sep = convolve2d_separable(img, factor, factor, cfg);
+  for (std::size_t i = 0; i < full.size(); ++i)
+    ASSERT_NEAR(sep[i], full[i], 1e-12) << i;
+}
+
+TEST(ConvolveSeparable, GaussianFactorOuterProductIsGaussianKernel) {
+  const auto factor = gaussian_factor(5);
+  const auto kernel = gaussian_kernel(5);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      ASSERT_NEAR(factor[i] * factor[j], kernel[i * 5 + j], 1e-12);
+}
+
+TEST(ConvolveSeparable, Validation) {
+  const ConvConfig cfg = small_cfg();
+  const Image img = synthetic_frame(cfg, 23);
+  const std::vector<double> wrong(3, 0.33);
+  EXPECT_THROW(
+      convolve2d_separable(img, wrong, gaussian_factor(5), cfg),
+      std::invalid_argument);
+  EXPECT_THROW(gaussian_factor(4), std::invalid_argument);
+}
+
+TEST(ConvDesign, FormatNeedsIntegerBit) {
+  EXPECT_THROW(ConvDesign(small_cfg(), fx::Format{18, 17, true}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(ConvDesign(small_cfg(), fx::Format{18, 15, true}));
+}
+
+TEST(ConvDesign, FixedPointTracksDouble) {
+  const ConvConfig cfg = small_cfg();
+  const ConvDesign design(cfg);
+  const Image img = synthetic_frame(cfg, 13);
+  const auto kernel = gaussian_kernel(cfg.kernel_size);
+  const Image hw = design.convolve(img, kernel);
+  const Image sw = convolve2d(img, kernel, cfg);
+  const auto rep = fx::compare(sw, hw);
+  EXPECT_LE(rep.max_error_percent, 0.5);  // 18-bit pixels: sub-percent
+  EXPECT_GT(rep.max_abs_error, 0.0);
+}
+
+TEST(ConvDesign, WiderFormatTightensError) {
+  const ConvConfig cfg = small_cfg();
+  const ConvDesign design(cfg);
+  const Image img = synthetic_frame(cfg, 17);
+  const auto kernel = gaussian_kernel(cfg.kernel_size);
+  const Image sw = convolve2d(img, kernel, cfg);
+  const double e12 =
+      fx::compare(sw, design.convolve_with_format(img, kernel,
+                                                  fx::Format{12, 9, true}))
+          .rmse;
+  const double e22 =
+      fx::compare(sw, design.convolve_with_format(img, kernel,
+                                                  fx::Format{22, 19, true}))
+          .rmse;
+  EXPECT_LT(e22, e12 * 0.1);
+}
+
+TEST(ConvDesign, CycleModelOnePixelPerCycle) {
+  ConvConfig cfg;
+  cfg.width = 1024;
+  cfg.height = 1024;
+  cfg.kernel_size = 5;
+  const ConvDesign design(cfg);
+  const std::uint64_t expected_fill = 2 * 1024 + 2;
+  EXPECT_EQ(design.cycles_per_iteration(), cfg.pixels() + expected_fill);
+}
+
+TEST(ConvDesign, ResourcesScaleWithKernel) {
+  ConvConfig small = small_cfg();
+  small.width = 1024;  // line buffers must be wide enough to span blocks
+  small.kernel_size = 3;
+  ConvConfig large = small;
+  large.kernel_size = 7;
+  const auto device = rcsim::virtex4_lx100();
+  const auto rs =
+      core::run_resource_test(ConvDesign(small).resource_items(), device);
+  const auto rl =
+      core::run_resource_test(ConvDesign(large).resource_items(), device);
+  EXPECT_EQ(rs.usage.dsp, 9);
+  EXPECT_EQ(rl.usage.dsp, 49);
+  EXPECT_GT(rl.usage.bram, rs.usage.bram);
+  EXPECT_TRUE(rl.feasible);
+}
+
+TEST(ConvDesign, WorksheetSelfConsistent) {
+  ConvConfig cfg;
+  cfg.width = 1024;
+  cfg.height = 1024;
+  const ConvDesign design(cfg);
+  const core::CommunicationParams comm{1e9, 0.6, 0.6};
+  const auto in = design.rat_inputs(12.5, 30, comm);
+  EXPECT_NO_THROW(in.validate());
+  const auto p = core::predict(in, 150e6);
+  // Eq. 4 with the 0.9 derate: pixels / (fclock * 0.9).
+  EXPECT_NEAR(p.t_comp_sec,
+              static_cast<double>(cfg.pixels()) / (150e6 * 0.9), 1e-9);
+  // The cycle model (1 pixel/cycle + fill) sits inside the derate.
+  EXPECT_LT(static_cast<double>(design.cycles_per_iteration()) / 150e6,
+            p.t_comp_sec);
+}
+
+}  // namespace
+}  // namespace rat::apps

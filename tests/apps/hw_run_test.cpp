@@ -1,0 +1,63 @@
+#include "apps/hw_run.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/units.hpp"
+
+namespace rat::apps {
+namespace {
+
+rcsim::Workload simple_workload(std::size_t iters) {
+  rcsim::Workload w;
+  w.n_iterations = iters;
+  w.io = [](std::size_t) {
+    rcsim::IterationIo io;
+    io.input_chunks_bytes = {2048};
+    io.output_chunks_bytes = {4};
+    return io;
+  };
+  w.cycles = [](std::size_t) { return std::uint64_t{21056}; };
+  return w;
+}
+
+TEST(HwRun, PackagesMeasuredRecord) {
+  const auto run = simulate_on_platform(simple_workload(400),
+                                        rcsim::nallatech_h101(),
+                                        core::mhz(150),
+                                        rcsim::Buffering::kSingle, 0.578);
+  EXPECT_DOUBLE_EQ(run.measured.fclock_hz, core::mhz(150));
+  EXPECT_GT(run.measured.t_comm_sec, 0.0);
+  EXPECT_GT(run.measured.t_comp_sec, 0.0);
+  EXPECT_NEAR(run.measured.speedup, 0.578 / run.exec.t_total_sec, 1e-12);
+  EXPECT_NEAR(run.measured.t_comm_sec,
+              run.exec.t_comm_sec / 400.0, 1e-15);
+  EXPECT_NEAR(run.measured.util_comm + run.measured.util_comp, 1.0, 1e-12);
+  EXPECT_TRUE(run.exec.timeline.lanes_consistent());
+}
+
+TEST(HwRun, PlatformSyncFlowsIntoTotals) {
+  const auto platform = rcsim::nallatech_h101();
+  const auto run = simulate_on_platform(
+      simple_workload(100), platform, core::mhz(150),
+      rcsim::Buffering::kSingle, 0.578);
+  EXPECT_NEAR(run.exec.t_sync_sec, 100.0 * platform.host_sync_sec, 1e-12);
+  // Total includes sync; comm/comp do not.
+  EXPECT_GT(run.exec.t_total_sec,
+            run.exec.t_comm_sec + run.exec.t_comp_sec);
+}
+
+TEST(HwRun, BufferingModeRespected) {
+  const auto sb = simulate_on_platform(simple_workload(100),
+                                       rcsim::nallatech_h101(),
+                                       core::mhz(150),
+                                       rcsim::Buffering::kSingle, 0.578);
+  const auto db = simulate_on_platform(simple_workload(100),
+                                       rcsim::nallatech_h101(),
+                                       core::mhz(150),
+                                       rcsim::Buffering::kDouble, 0.578);
+  EXPECT_LE(db.exec.t_total_sec, sb.exec.t_total_sec);
+  EXPECT_GE(db.measured.speedup, sb.measured.speedup);
+}
+
+}  // namespace
+}  // namespace rat::apps

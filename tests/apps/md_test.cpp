@@ -1,0 +1,316 @@
+#include "apps/md.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rat::apps {
+namespace {
+
+MdConfig test_cfg() {
+  MdConfig cfg;
+  cfg.cutoff = 0.34;
+  cfg.sigma_lj = 0.03;
+  cfg.epsilon = 1.0;
+  cfg.dt = 1e-5;
+  return cfg;
+}
+
+TEST(MdConfig, Validation) {
+  MdConfig c = test_cfg();
+  c.cutoff = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = test_cfg();
+  c.epsilon = -1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = test_cfg();
+  c.sigma_lj = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = test_cfg();
+  c.dt = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(MdForces, NewtonsThirdLawNetForceZero) {
+  auto sys = particle_box(256, 1.0, 1.0, 71);
+  compute_forces(sys, test_cfg());
+  double fx = 0, fy = 0, fz = 0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    fx += sys.ax[i];
+    fy += sys.ay[i];
+    fz += sys.az[i];
+  }
+  EXPECT_NEAR(fx, 0.0, 1e-9);
+  EXPECT_NEAR(fy, 0.0, 1e-9);
+  EXPECT_NEAR(fz, 0.0, 1e-9);
+}
+
+TEST(MdForces, TwoParticleForceIsCentralAndRepulsiveUpClose) {
+  ParticleSystem sys;
+  sys.box_length = 10.0;
+  const double r = 0.02;  // < sigma: strongly repulsive
+  sys.px = {5.0, 5.0 + r};
+  sys.py = {5.0, 5.0};
+  sys.pz = {5.0, 5.0};
+  sys.vx = sys.vy = sys.vz = {0.0, 0.0};
+  sys.ax = sys.ay = sys.az = {0.0, 0.0};
+  MdConfig cfg = test_cfg();
+  cfg.periodic = false;
+  const auto res = compute_forces(sys, cfg);
+  EXPECT_EQ(res.interactions, 1u);
+  EXPECT_LT(sys.ax[0], 0.0);  // pushed apart
+  EXPECT_GT(sys.ax[1], 0.0);
+  EXPECT_NEAR(sys.ax[0], -sys.ax[1], 1e-9);
+  EXPECT_NEAR(sys.ay[0], 0.0, 1e-12);  // central force
+}
+
+TEST(MdForces, AttractiveInTheWell) {
+  ParticleSystem sys;
+  sys.box_length = 10.0;
+  const double r = 0.04;  // > 2^(1/6) sigma = 0.0337: attractive region
+  sys.px = {5.0, 5.0 + r};
+  sys.py = {5.0, 5.0};
+  sys.pz = {5.0, 5.0};
+  sys.vx = sys.vy = sys.vz = {0.0, 0.0};
+  sys.ax = sys.ay = sys.az = {0.0, 0.0};
+  MdConfig cfg = test_cfg();
+  cfg.periodic = false;
+  compute_forces(sys, cfg);
+  EXPECT_GT(sys.ax[0], 0.0);  // pulled together
+  EXPECT_LT(sys.ax[1], 0.0);
+}
+
+TEST(MdForces, CutoffSkipsDistantPairs) {
+  ParticleSystem sys;
+  sys.box_length = 10.0;
+  sys.px = {1.0, 5.0};  // far apart, far below half-box for min-image
+  sys.py = {1.0, 1.0};
+  sys.pz = {1.0, 1.0};
+  sys.vx = sys.vy = sys.vz = {0.0, 0.0};
+  sys.ax = sys.ay = sys.az = {0.0, 0.0};
+  const auto res = compute_forces(sys, test_cfg());
+  EXPECT_EQ(res.pairs_checked, 1u);
+  EXPECT_EQ(res.interactions, 0u);
+  EXPECT_DOUBLE_EQ(sys.ax[0], 0.0);
+}
+
+TEST(MdForces, MinimumImageWrapsAcrossBoundary) {
+  ParticleSystem sys;
+  sys.box_length = 1.0;
+  sys.px = {0.01, 0.99};  // 0.02 apart through the boundary
+  sys.py = {0.5, 0.5};
+  sys.pz = {0.5, 0.5};
+  sys.vx = sys.vy = sys.vz = {0.0, 0.0};
+  sys.ax = sys.ay = sys.az = {0.0, 0.0};
+  const auto res = compute_forces(sys, test_cfg());
+  EXPECT_EQ(res.interactions, 1u);
+  EXPECT_GT(std::fabs(sys.ax[0]), 0.0);
+}
+
+TEST(MdForces, InteractionFractionMatchesCutoffVolume) {
+  // In a uniform periodic box, the in-cutoff fraction approaches the
+  // cutoff sphere's volume fraction: (4/3) pi rc^3 ~ 16.5% at rc = 0.34.
+  auto sys = particle_box(2048, 1.0, 1.0, 73);
+  const auto res = compute_forces(sys, test_cfg());
+  const double frac = static_cast<double>(res.interactions) /
+                      static_cast<double>(res.pairs_checked);
+  EXPECT_NEAR(frac, 4.0 / 3.0 * M_PI * std::pow(0.34, 3), 0.01);
+}
+
+TEST(MdForces, CountedVariantMatchesUncounted) {
+  auto a = particle_box(128, 1.0, 1.0, 79);
+  auto b = a;
+  OpCounter ops;
+  const auto ra = compute_forces(a, test_cfg());
+  const auto rb = compute_forces_counted(b, test_cfg(), ops);
+  EXPECT_EQ(ra.interactions, rb.interactions);
+  EXPECT_DOUBLE_EQ(ra.potential_energy, rb.potential_energy);
+  EXPECT_EQ(a.ax, b.ax);
+  // Every pair was counted: 9 ops per candidate at minimum.
+  EXPECT_GE(ops.total_unit_weight(), 9u * ra.pairs_checked);
+  EXPECT_EQ(ops.divs, ra.interactions);
+}
+
+TEST(MdForces, F32AgreesWithF64) {
+  auto a = particle_box(256, 1.0, 1.0, 83);
+  auto b = a;
+  const auto r64 = compute_forces(a, test_cfg());
+  const auto r32 = compute_forces_f32(b, test_cfg());
+  EXPECT_EQ(r64.interactions, r32.interactions);
+  EXPECT_NEAR(r32.potential_energy, r64.potential_energy,
+              1e-3 * std::fabs(r64.potential_energy) + 1e-6);
+}
+
+TEST(MdForces, CellListMatchesAllPairsExactly) {
+  // Fine cutoff so a real grid (10 cells/dim) is exercised.
+  MdConfig cfg = test_cfg();
+  cfg.cutoff = 0.1;
+  auto a = particle_box(1024, 1.0, 1.0, 211);
+  auto b = a;
+  const auto all = compute_forces(a, cfg);
+  const auto cell = compute_forces_celllist(b, cfg);
+  EXPECT_EQ(cell.interactions, all.interactions);
+  EXPECT_NEAR(cell.potential_energy, all.potential_energy,
+              1e-9 * std::fabs(all.potential_energy) + 1e-12);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.ax[i], b.ax[i], 1e-9 + 1e-9 * std::fabs(a.ax[i])) << i;
+    EXPECT_NEAR(a.az[i], b.az[i], 1e-9 + 1e-9 * std::fabs(a.az[i])) << i;
+  }
+  // And it prunes: far fewer candidate pairs than N(N-1)/2.
+  EXPECT_LT(cell.pairs_checked, all.pairs_checked / 5);
+}
+
+TEST(MdForces, CellListWrapsPeriodicBoundary) {
+  MdConfig cfg = test_cfg();
+  cfg.cutoff = 0.1;
+  ParticleSystem sys;
+  sys.box_length = 1.0;
+  sys.px = {0.01, 0.99, 0.5};  // first two interact through the boundary
+  sys.py = {0.5, 0.5, 0.5};
+  sys.pz = {0.5, 0.5, 0.5};
+  sys.vx = sys.vy = sys.vz = {0.0, 0.0, 0.0};
+  sys.ax = sys.ay = sys.az = {0.0, 0.0, 0.0};
+  const auto res = compute_forces_celllist(sys, cfg);
+  EXPECT_EQ(res.interactions, 1u);
+}
+
+TEST(MdForces, CellListFallsBackForCoarseCutoffs) {
+  // cutoff 0.34 -> 2 cells/dim: must silently use the all-pairs oracle.
+  auto a = particle_box(256, 1.0, 1.0, 223);
+  auto b = a;
+  const auto all = compute_forces(a, test_cfg());
+  const auto cell = compute_forces_celllist(b, test_cfg());
+  EXPECT_EQ(cell.pairs_checked, all.pairs_checked);
+  EXPECT_EQ(cell.interactions, all.interactions);
+}
+
+TEST(MdForces, TooFewParticlesThrows) {
+  auto sys = particle_box(1, 1.0, 1.0, 89);
+  EXPECT_THROW(compute_forces(sys, test_cfg()), std::invalid_argument);
+}
+
+TEST(MdIntegration, EnergyApproximatelyConservedOverShortRun) {
+  auto sys = particle_box(128, 1.0, 0.05, 97);
+  MdConfig cfg = test_cfg();
+  cfg.dt = 2e-6;
+  const auto f0 = compute_forces(sys, cfg);  // initialize accelerations
+  const double e0 = kinetic_energy(sys) + f0.potential_energy;
+  double pe = f0.potential_energy;
+  for (int step = 0; step < 50; ++step)
+    pe = velocity_verlet_step(sys, cfg).potential_energy;
+  const double e1 = kinetic_energy(sys) + pe;
+  const double scale =
+      std::max({std::fabs(e0), std::fabs(e1), kinetic_energy(sys), 1e-9});
+  EXPECT_LT(std::fabs(e1 - e0) / scale, 0.05);
+}
+
+TEST(MdObservables, TemperatureMatchesInitialization) {
+  // particle_box draws velocities from normal(0, sqrt(T)) per component:
+  // kinetic temperature ~ T.
+  const auto sys = particle_box(8192, 1.0, 1.7, 131);
+  EXPECT_NEAR(temperature(sys), 1.7, 0.05);
+  const auto cold = particle_box(8192, 1.0, 0.0, 131);
+  EXPECT_DOUBLE_EQ(temperature(cold), 0.0);
+}
+
+TEST(MdObservables, MomentumConservedByIntegrator) {
+  auto sys = particle_box(256, 1.0, 0.5, 137);
+  // Remove the small random net drift so conservation is visible.
+  double mx = 0, my = 0, mz = 0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    mx += sys.vx[i];
+    my += sys.vy[i];
+    mz += sys.vz[i];
+  }
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    sys.vx[i] -= mx / static_cast<double>(sys.size());
+    sys.vy[i] -= my / static_cast<double>(sys.size());
+    sys.vz[i] -= mz / static_cast<double>(sys.size());
+  }
+  EXPECT_NEAR(net_momentum(sys), 0.0, 1e-10);
+  MdConfig cfg = test_cfg();
+  cfg.dt = 2e-6;
+  compute_forces(sys, cfg);
+  for (int step = 0; step < 25; ++step) velocity_verlet_step(sys, cfg);
+  EXPECT_NEAR(net_momentum(sys), 0.0, 1e-8);
+}
+
+TEST(MdIntegration, PositionsStayInBox) {
+  auto sys = particle_box(64, 1.0, 1.0, 101);
+  MdConfig cfg = test_cfg();
+  compute_forces(sys, cfg);
+  for (int step = 0; step < 20; ++step) velocity_verlet_step(sys, cfg);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    ASSERT_GE(sys.px[i], 0.0);
+    ASSERT_LT(sys.px[i], 1.0);
+    ASSERT_GE(sys.py[i], 0.0);
+    ASSERT_LT(sys.py[i], 1.0);
+  }
+}
+
+TEST(MdDesign, CyclesAreDataDependent) {
+  const MdDesign d(test_cfg());
+  // A denser neighborhood (larger cutoff) must cost more cycles.
+  auto sys = particle_box(512, 1.0, 1.0, 103);
+  MdConfig wide = test_cfg();
+  wide.cutoff = 0.45;
+  const MdDesign dw(wide);
+  EXPECT_GT(dw.cycles_for(sys), d.cycles_for(sys));
+}
+
+TEST(MdDesign, CyclesFromCountsFormula) {
+  const MdDesign d(test_cfg(), 4);
+  // 100 undirected interactions -> 200 directed; candidates 400, misses
+  // 200: (200*7 + 200*1)/4 + 50*10 = 400 + 500.
+  EXPECT_EQ(d.cycles_from_counts(100, 50), 400u + 500u);
+}
+
+TEST(MdDesign, EffectiveRateFallsShortOfTunedWorksheet) {
+  // The heart of the MD case study: the dataset's locality supports only
+  // ~30 effective ops/cycle against the 50 the worksheet was tuned to.
+  // Must run at the paper's full 16384 molecules — the per-molecule
+  // neighborhood (and hence the effective rate) scales with density.
+  auto sys = particle_box(16384, 1.0, 1.0, 107);
+  const MdDesign d(test_cfg());
+  const auto cycles = d.cycles_for(sys);
+  const double ops = 164000.0 * static_cast<double>(sys.size());
+  const double eff = ops / static_cast<double>(cycles);
+  EXPECT_LT(eff, 40.0);
+  EXPECT_GT(eff, 20.0);
+}
+
+TEST(MdDesign, IoMovesWholeDatasetBothWays) {
+  const MdDesign d(test_cfg());
+  const auto io = d.io(16384);
+  ASSERT_EQ(io.input_chunks_bytes.size(), 1u);
+  EXPECT_EQ(io.input_chunks_bytes[0], 16384u * 36u);
+  EXPECT_EQ(io.output_chunks_bytes[0], 16384u * 36u);
+}
+
+TEST(MdDesign, NearlyExhaustsEp2s180) {
+  const auto device = rcsim::stratix2_ep2s180();
+  const auto r =
+      core::run_resource_test(MdDesign(test_cfg()).resource_items(), device);
+  EXPECT_TRUE(r.feasible);
+  // Table 10 shape: large fraction of DSPs and combinatorial logic.
+  EXPECT_GT(r.utilization.dsp_fraction, 0.6);
+  EXPECT_GT(r.utilization.logic_fraction, 0.6);
+}
+
+TEST(MdDesign, LaneValidation) {
+  EXPECT_THROW(MdDesign(test_cfg(), 0), std::invalid_argument);
+  EXPECT_THROW(MdDesign(test_cfg(), -2), std::invalid_argument);
+}
+
+TEST(MdOpsPerElement, SameOrderAsPaperEstimate) {
+  auto sys = particle_box(4096, 1.0, 1.0, 109);
+  const double ops = md_measured_ops_per_element(sys, test_cfg());
+  // Counting scope differs from ORNL's (we charge all-pairs candidate
+  // checks); same order of magnitude as Table 8's 164000.
+  EXPECT_GT(ops, 164000.0 / 10.0);
+  EXPECT_LT(ops, 164000.0 * 10.0);
+}
+
+}  // namespace
+}  // namespace rat::apps

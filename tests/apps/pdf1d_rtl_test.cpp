@@ -1,0 +1,80 @@
+#include "apps/pdf1d_rtl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "apps/workload.hpp"
+
+namespace rat::apps {
+namespace {
+
+TEST(Pdf1dRtl, CycleCountEqualsClosedFormModel) {
+  const Pdf1dDesign design;  // paper configuration
+  const auto xs =
+      gaussian_mixture_1d(design.config().batch, default_mixture_1d(), 401);
+  const auto rtl = run_pdf1d_rtl(design, xs);
+  EXPECT_EQ(rtl.cycles, design.cycles_per_iteration());
+}
+
+TEST(Pdf1dRtl, MultiBatchCyclesPayFillPerBatch) {
+  const Pdf1dDesign design;
+  const std::size_t batches = 3;
+  const auto xs = gaussian_mixture_1d(batches * design.config().batch,
+                                      default_mixture_1d(), 403);
+  const auto rtl = run_pdf1d_rtl(design, xs);
+  EXPECT_EQ(rtl.cycles, batches * design.cycles_per_iteration());
+}
+
+TEST(Pdf1dRtl, ResultsBitIdenticalToBehaviouralModel) {
+  const Pdf1dDesign design;
+  const auto xs = gaussian_mixture_1d(2048, default_mixture_1d(), 405);
+  const auto rtl = run_pdf1d_rtl(design, xs);
+  const auto behavioural = design.estimate(xs);
+  ASSERT_EQ(rtl.estimate.size(), behavioural.size());
+  for (std::size_t j = 0; j < behavioural.size(); ++j)
+    ASSERT_EQ(rtl.estimate[j], behavioural[j]) << "bin " << j;
+}
+
+TEST(Pdf1dRtl, MacIssueCountIsElementsTimesBins) {
+  const Pdf1dDesign design;
+  const auto xs = gaussian_mixture_1d(512, default_mixture_1d(), 407);
+  const auto rtl = run_pdf1d_rtl(design, xs);
+  EXPECT_EQ(rtl.mac_issues, 512ull * design.config().n_bins);
+  EXPECT_EQ(rtl.handshake_stalls, 512ull * 9ull);
+}
+
+TEST(Pdf1dRtl, EffectiveOpsPerCycleMatchesPaperDerate) {
+  // 3 measured ops per MAC issue: the derated throughput the paper's
+  // worksheet rounds to 20, realized in a clocked model.
+  const Pdf1dDesign design;
+  const auto xs =
+      gaussian_mixture_1d(design.config().batch, default_mixture_1d(), 409);
+  const auto rtl = run_pdf1d_rtl(design, xs);
+  const double eff = 3.0 * static_cast<double>(rtl.mac_issues) /
+                     static_cast<double>(rtl.cycles);
+  EXPECT_NEAR(eff, 18.7, 0.2);
+  EXPECT_LT(eff, 20.0);  // the worksheet's assumption was (mildly) optimistic
+}
+
+TEST(Pdf1dRtl, SmallerGeometryStillCoheres) {
+  Pdf1dConfig cfg;
+  cfg.n_bins = 64;
+  cfg.batch = 96;
+  cfg.bandwidth = 0.08;
+  const Pdf1dDesign design(cfg, 4);
+  const auto xs = gaussian_mixture_1d(96, default_mixture_1d(), 411);
+  const auto rtl = run_pdf1d_rtl(design, xs);
+  EXPECT_EQ(rtl.cycles, design.cycles_per_iteration());
+  const auto behavioural = design.estimate(xs);
+  for (std::size_t j = 0; j < behavioural.size(); ++j)
+    ASSERT_EQ(rtl.estimate[j], behavioural[j]);
+}
+
+TEST(Pdf1dRtl, EmptyInputRejected) {
+  const Pdf1dDesign design;
+  EXPECT_THROW(run_pdf1d_rtl(design, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rat::apps

@@ -1,0 +1,174 @@
+#include "apps/pdf1d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "apps/workload.hpp"
+#include "fixedpoint/error_analysis.hpp"
+#include "util/stats.hpp"
+
+namespace rat::apps {
+namespace {
+
+Pdf1dConfig small_cfg() {
+  Pdf1dConfig cfg;
+  cfg.n_bins = 64;
+  cfg.bandwidth = 0.05;
+  cfg.batch = 128;
+  return cfg;
+}
+
+double integrate(const std::vector<double>& pdf, std::size_t n_bins) {
+  const double dx = 1.0 / static_cast<double>(n_bins);
+  return std::accumulate(pdf.begin(), pdf.end(), 0.0) * dx;
+}
+
+TEST(Pdf1dConfig, Validation) {
+  Pdf1dConfig c = small_cfg();
+  c.n_bins = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_cfg();
+  c.bandwidth = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_cfg();
+  c.bandwidth = 1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_cfg();
+  c.batch = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Pdf1dSoftware, GaussianEstimateIntegratesToOne) {
+  const auto xs = gaussian_mixture_1d(20000, default_mixture_1d(), 17);
+  const Pdf1dConfig cfg;  // 256 bins
+  const auto pdf = estimate_pdf1d_gaussian(xs, cfg);
+  ASSERT_EQ(pdf.size(), cfg.n_bins);
+  EXPECT_NEAR(integrate(pdf, cfg.n_bins), 1.0, 0.02);
+  for (double p : pdf) ASSERT_GE(p, 0.0);
+}
+
+TEST(Pdf1dSoftware, QuadraticEstimateIntegratesToOne) {
+  const auto xs = gaussian_mixture_1d(20000, default_mixture_1d(), 18);
+  const Pdf1dConfig cfg;
+  const auto pdf = estimate_pdf1d_quadratic(xs, cfg);
+  EXPECT_NEAR(integrate(pdf, cfg.n_bins), 1.0, 0.02);
+}
+
+TEST(Pdf1dSoftware, RecoversBimodalShape) {
+  const auto xs = gaussian_mixture_1d(40000, default_mixture_1d(), 19);
+  const Pdf1dConfig cfg;
+  const auto pdf = estimate_pdf1d_quadratic(xs, cfg);
+  // Peak near 0.3 should dominate; valley near 0.5 should be low.
+  const auto at = [&](double x) {
+    return pdf[static_cast<std::size_t>(x * cfg.n_bins)];
+  };
+  EXPECT_GT(at(0.30), at(0.50) * 1.5);
+  EXPECT_GT(at(0.70), at(0.50));
+  EXPECT_GT(at(0.30), at(0.05));
+}
+
+TEST(Pdf1dSoftware, GaussianAndQuadraticAgreeBroadly) {
+  const auto xs = gaussian_mixture_1d(30000, default_mixture_1d(), 23);
+  const Pdf1dConfig cfg;
+  const auto g = estimate_pdf1d_gaussian(xs, cfg);
+  const auto q = estimate_pdf1d_quadratic(xs, cfg);
+  // Different kernels, same data: correlated estimates.
+  EXPECT_LT(util::rmse(g, q), 0.25 * util::max_of(g));
+}
+
+TEST(Pdf1dSoftware, EmptyInputThrows) {
+  const std::vector<double> none;
+  EXPECT_THROW(estimate_pdf1d_gaussian(none, small_cfg()),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_pdf1d_quadratic(none, small_cfg()),
+               std::invalid_argument);
+}
+
+TEST(Pdf1dSoftware, OpCountMatchesAnalyticFormula) {
+  const auto xs = gaussian_mixture_1d(1000, default_mixture_1d(), 29);
+  const Pdf1dConfig cfg = small_cfg();
+  OpCounter ops;
+  estimate_pdf1d_quadratic_counted(xs, cfg, ops);
+  // Exactly 3 ops per element per bin (§4.2's 768 = 3 x 256 scaled here).
+  EXPECT_EQ(ops.total_unit_weight(), 3ull * 1000ull * cfg.n_bins);
+  EXPECT_DOUBLE_EQ(pdf1d_ops_per_element(cfg), 3.0 * cfg.n_bins);
+  const Pdf1dConfig paper;  // 256 bins
+  EXPECT_DOUBLE_EQ(pdf1d_ops_per_element(paper), 768.0);
+}
+
+TEST(Pdf1dDesign, RejectsIndivisiblePipelines) {
+  EXPECT_THROW(Pdf1dDesign(small_cfg(), 7), std::invalid_argument);
+  EXPECT_THROW(Pdf1dDesign(small_cfg(), 0), std::invalid_argument);
+  EXPECT_NO_THROW(Pdf1dDesign(small_cfg(), 8));
+}
+
+TEST(Pdf1dDesign, CycleModelMatchesTable3Actual) {
+  const Pdf1dDesign d;  // paper configuration
+  EXPECT_EQ(d.cycles_per_iteration(), 512u * 41u + 64u);
+  const double t150 = static_cast<double>(d.cycles_per_iteration()) / 150e6;
+  EXPECT_NEAR(t150, 1.39e-4, 0.02e-4);
+  EXPECT_DOUBLE_EQ(d.ideal_ops_per_cycle(), 24.0);
+}
+
+TEST(Pdf1dDesign, IoPatternHasFinalDrain) {
+  const Pdf1dDesign d;
+  const auto mid = d.io(5, 400);
+  ASSERT_EQ(mid.input_chunks_bytes.size(), 1u);
+  EXPECT_EQ(mid.input_chunks_bytes[0], 2048u);
+  EXPECT_EQ(mid.output_chunks_bytes, std::vector<std::size_t>{4});
+  const auto last = d.io(399, 400);
+  ASSERT_EQ(last.output_chunks_bytes.size(), 2u);
+  EXPECT_EQ(last.output_chunks_bytes[1], 1024u);  // 256 bins x 4 B
+}
+
+TEST(Pdf1dDesign, FixedPointTracksDoubleReference) {
+  const auto xs = gaussian_mixture_1d(4096, default_mixture_1d(), 31);
+  Pdf1dConfig cfg;  // full 256 bins
+  const Pdf1dDesign d(cfg);
+  const auto hw = d.estimate(xs);
+  const auto sw = estimate_pdf1d_quadratic(xs, cfg);
+  const auto rep = fx::compare(sw, hw);
+  // 18-bit fixed point: within the paper's ~2% error budget.
+  EXPECT_LE(rep.max_error_percent, 2.0);
+  EXPECT_GT(rep.max_abs_error, 0.0);  // but it is genuinely quantized
+}
+
+TEST(Pdf1dDesign, ErrorShrinksWithWiderFormats) {
+  const auto xs = gaussian_mixture_1d(2048, default_mixture_1d(), 37);
+  const Pdf1dDesign d;
+  const auto sw = estimate_pdf1d_quadratic(xs, d.config());
+  double prev = 1e9;
+  for (int bits : {12, 16, 20, 26}) {
+    const auto hw = d.estimate_with_format(xs, fx::Format{bits, bits - 1, true});
+    const double err = fx::compare(sw, hw).max_error_percent;
+    EXPECT_LT(err, prev * 1.2) << bits;
+    prev = err;
+  }
+  EXPECT_LT(prev, 0.01);  // 26 bits: essentially exact
+}
+
+TEST(Pdf1dDesign, ResourceFootprintReproducesTable4Shape) {
+  const Pdf1dDesign d;
+  const auto device = rcsim::virtex4_lx100();
+  const auto r = core::run_resource_test(d.resource_items(), device);
+  EXPECT_TRUE(r.feasible);
+  // Table 4: BRAM ~15%, low DSP and slice usage — lots of headroom, which
+  // the paper reads as "potential for further speedup".
+  EXPECT_NEAR(r.utilization.dsp_fraction, 8.0 / 96.0, 1e-9);
+  EXPECT_NEAR(r.utilization.bram_fraction, 0.15, 0.03);
+  EXPECT_LT(r.utilization.logic_fraction, 0.2);
+}
+
+TEST(Pdf1dDesign, WorksheetIsTable2) {
+  const Pdf1dDesign d;
+  const auto in = d.rat_inputs();
+  EXPECT_EQ(in.dataset.elements_in, d.config().batch);
+  EXPECT_DOUBLE_EQ(in.comp.ops_per_element,
+                   pdf1d_ops_per_element(d.config()));
+}
+
+}  // namespace
+}  // namespace rat::apps

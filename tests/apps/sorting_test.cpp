@@ -1,0 +1,193 @@
+#include "apps/sorting.hpp"
+
+#include "core/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rat::apps {
+namespace {
+
+TEST(SortConfig, Validation) {
+  SortConfig c;
+  c.block = 1000;  // not a power of two
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.block = 1024;
+  c.comparators = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.comparators = 513;  // > block/2
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.comparators = 512;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(SortConfig, StageCount) {
+  SortConfig c;
+  c.block = 1024;  // log2 = 10 -> 55 stages
+  EXPECT_EQ(c.stages(), 55u);
+  EXPECT_EQ(c.exchanges_per_block(), 55u * 512u);
+  c.block = 8;  // log2 = 3 -> 6 stages
+  c.comparators = 4;
+  EXPECT_EQ(c.stages(), 6u);
+}
+
+TEST(MergeSort, SortsAndCountsComparisons) {
+  auto data = random_keys(10000, 3);
+  OpCounter ops;
+  merge_sort(data, &ops);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  // n log2 n comparisons, within a factor: 10000 * 13.3 ~ 133k.
+  EXPECT_GT(ops.compares, 60000u);
+  EXPECT_LT(ops.compares, 140000u);
+}
+
+TEST(MergeSort, EdgeCases) {
+  std::vector<std::uint32_t> empty;
+  EXPECT_NO_THROW(merge_sort(empty));
+  std::vector<std::uint32_t> one{42};
+  merge_sort(one);
+  EXPECT_EQ(one[0], 42u);
+  std::vector<std::uint32_t> dup(100, 7);
+  merge_sort(dup);
+  EXPECT_TRUE(std::is_sorted(dup.begin(), dup.end()));
+  // Odd (non-power-of-two) sizes work.
+  auto odd = random_keys(12345, 5);
+  merge_sort(odd);
+  EXPECT_TRUE(std::is_sorted(odd.begin(), odd.end()));
+}
+
+TEST(BitonicNetwork, SortsOneBlockExactly) {
+  SortConfig c;
+  c.block = 256;
+  c.comparators = 32;
+  auto block = random_keys(256, 11);
+  auto expected = block;
+  std::sort(expected.begin(), expected.end());
+  bitonic_sort_block(block, c);
+  EXPECT_EQ(block, expected);
+}
+
+TEST(BitonicNetwork, ExchangeCountIsDataIndependent) {
+  // The network executes exactly exchanges_per_block() compare-exchanges
+  // regardless of input order — the property that makes its worksheet
+  // deterministic (unlike MD's data-dependent op count).
+  SortConfig c;
+  c.block = 128;
+  c.comparators = 16;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    auto block = random_keys(128, seed);
+    OpCounter ops;
+    bitonic_sort_block(block, c, &ops);
+    EXPECT_EQ(ops.compares, c.exchanges_per_block());
+  }
+  // Already-sorted input: same count.
+  std::vector<std::uint32_t> sorted(128);
+  for (std::size_t i = 0; i < 128; ++i)
+    sorted[i] = static_cast<std::uint32_t>(i);
+  OpCounter ops;
+  bitonic_sort_block(sorted, c, &ops);
+  EXPECT_EQ(ops.compares, c.exchanges_per_block());
+}
+
+TEST(BitonicNetwork, RejectsWrongBlockSize) {
+  SortConfig c;
+  c.block = 256;
+  c.comparators = 32;
+  auto wrong = random_keys(128, 13);
+  EXPECT_THROW(bitonic_sort_block(wrong, c), std::invalid_argument);
+}
+
+class BitonicSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitonicSizes, MatchesStdSort) {
+  SortConfig c;
+  c.block = GetParam();
+  c.comparators = std::max<std::size_t>(1, c.block / 8);
+  auto block = random_keys(c.block, 17 + c.block);
+  auto expected = block;
+  std::sort(expected.begin(), expected.end());
+  bitonic_sort_block(block, c);
+  EXPECT_EQ(block, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, BitonicSizes,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024,
+                                           4096));
+
+TEST(HybridSort, MatchesStdSortIncludingPaddedTail) {
+  SortConfig c;
+  c.block = 64;
+  c.comparators = 8;
+  for (std::size_t n : {0u, 1u, 63u, 64u, 65u, 1000u, 4096u}) {
+    const auto data = random_keys(n, 19 + n);
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(hybrid_sort(data, c), expected) << n;
+  }
+}
+
+TEST(HybridSort, HandlesMaxKeysInData) {
+  // The padding sentinel value must not corrupt real data.
+  SortConfig c;
+  c.block = 8;
+  c.comparators = 4;
+  std::vector<std::uint32_t> data{5, 0xFFFFFFFFu, 3, 0xFFFFFFFFu, 1};
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(hybrid_sort(data, c), expected);
+}
+
+TEST(SortDesign, CycleModelScalesWithComparators) {
+  SortConfig narrow;
+  narrow.block = 1024;
+  narrow.comparators = 16;
+  SortConfig wide = narrow;
+  wide.comparators = 256;
+  EXPECT_GT(SortDesign(narrow).cycles_per_iteration(),
+            SortDesign(wide).cycles_per_iteration());
+  // 55 stages x 512/64 cycles + 512 drain at 64 comparators.
+  SortConfig c;
+  c.block = 1024;
+  c.comparators = 64;
+  EXPECT_EQ(SortDesign(c).cycles_per_iteration(), 55u * 8u + 512u);
+}
+
+TEST(SortDesign, IoMovesBlockBothWays) {
+  SortConfig c;
+  c.block = 1024;
+  c.comparators = 64;
+  const auto io = SortDesign(c).io();
+  EXPECT_EQ(io.input_chunks_bytes, std::vector<std::size_t>{4096});
+  EXPECT_EQ(io.output_chunks_bytes, std::vector<std::size_t>{4096});
+}
+
+TEST(SortDesign, WorksheetConsistentWithCycleModel) {
+  SortConfig c;
+  c.block = 1024;
+  c.comparators = 64;
+  const SortDesign design(c);
+  const core::CommunicationParams comm{1e9, 0.37, 0.16};
+  const auto in = design.rat_inputs(1.0, 100, comm);
+  EXPECT_NO_THROW(in.validate());
+  const auto p = core::predict(in, 100e6);
+  // Eq. 4: 1024 elem x 27.5 ops / (1e8 x 64 ops/cyc) = stage cycles only;
+  // the cycle model adds the drain on top.
+  EXPECT_NEAR(p.t_comp_sec, 55.0 * 8.0 / 1e8, 1e-12);
+  EXPECT_GT(static_cast<double>(design.cycles_per_iteration()) / 1e8,
+            p.t_comp_sec);
+}
+
+TEST(SortDesign, ResourcesPureLogic) {
+  SortConfig c;
+  c.block = 1024;
+  c.comparators = 64;
+  const auto r = core::run_resource_test(SortDesign(c).resource_items(),
+                                         rcsim::virtex4_lx100());
+  EXPECT_EQ(r.usage.dsp, 0);
+  EXPECT_TRUE(r.feasible);
+}
+
+}  // namespace
+}  // namespace rat::apps

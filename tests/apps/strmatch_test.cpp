@@ -1,0 +1,172 @@
+#include "apps/strmatch.hpp"
+
+#include "core/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rat::apps {
+namespace {
+
+StrMatchConfig cfg(std::vector<std::string> patterns,
+                   std::size_t chunk = 4096) {
+  StrMatchConfig c;
+  c.patterns = std::move(patterns);
+  c.chunk = chunk;
+  return c;
+}
+
+TEST(StrMatchConfig, Validation) {
+  EXPECT_THROW(cfg({}).validate(), std::invalid_argument);
+  EXPECT_THROW(cfg({"abc", ""}).validate(), std::invalid_argument);
+  StrMatchConfig c = cfg({"abc"});
+  c.chunk = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(cfg({"abc"}).validate());
+  EXPECT_EQ(cfg({"ab", "cdef"}).longest_pattern(), 4u);
+  EXPECT_EQ(cfg({"ab", "cdef"}).total_pattern_chars(), 6u);
+}
+
+TEST(StrMatchNaive, KnownCounts) {
+  const auto counts = count_matches_naive("abababa", cfg({"aba", "bab"}));
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 3u);  // overlapping matches at 0, 2, 4
+  EXPECT_EQ(counts[1], 2u);  // at 1, 3
+}
+
+TEST(StrMatchNaive, PatternLongerThanTextFindsNothing) {
+  const auto counts = count_matches_naive("ab", cfg({"abc"}));
+  EXPECT_EQ(counts[0], 0u);
+}
+
+TEST(StrMatchShiftOr, AgreesWithNaiveOnRandomText) {
+  const auto c = cfg({"abca", "bb", "cabc", "a"});
+  const std::string text = random_text(20000, c, 0.01, 99, 'a', 'c');
+  EXPECT_EQ(count_matches_shift_or(text, c), count_matches_naive(text, c));
+}
+
+TEST(StrMatchShiftOr, RejectsLongPatterns) {
+  const StrMatchConfig c = cfg({std::string(65, 'x')});
+  EXPECT_THROW(count_matches_shift_or("xyz", c), std::invalid_argument);
+}
+
+TEST(StrMatchCounted, OpCountBounds) {
+  const auto c = cfg({"ab"});
+  OpCounter ops;
+  count_matches_naive_counted("aaaa", c, ops);
+  // Three start positions, each comparing at least the first character.
+  EXPECT_GE(ops.compares, 3u);
+  EXPECT_LE(ops.compares, 6u);
+}
+
+TEST(RandomText, DeterministicAndInAlphabetWithoutPlanting) {
+  const auto c = cfg({"zz"});
+  const std::string a = random_text(5000, c, 0.0, 7, 'a', 'd');
+  EXPECT_EQ(a, random_text(5000, c, 0.0, 7, 'a', 'd'));
+  for (char ch : a) {
+    ASSERT_GE(ch, 'a');
+    ASSERT_LE(ch, 'd');
+  }
+}
+
+TEST(RandomText, PlantingRaisesMatchCounts) {
+  const auto c = cfg({"needle"});
+  const std::string clean = random_text(50000, c, 0.0, 13, 'a', 'z');
+  const std::string planted = random_text(50000, c, 0.002, 13, 'a', 'z');
+  EXPECT_GT(count_matches_naive(planted, c)[0],
+            count_matches_naive(clean, c)[0] + 10);
+}
+
+TEST(RandomText, Validation) {
+  const auto c = cfg({"x"});
+  EXPECT_THROW(random_text(10, c, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(random_text(10, c, 1.1, 1), std::invalid_argument);
+  EXPECT_THROW(random_text(10, c, 0.0, 1, 'z', 'a'), std::invalid_argument);
+}
+
+TEST(AhoCorasick, KnownCounts) {
+  const auto c = cfg({"aba", "bab"});
+  const AhoCorasick ac(c);
+  const auto counts = ac.count_matches("abababa");
+  EXPECT_EQ(counts, count_matches_naive("abababa", c));
+}
+
+TEST(AhoCorasick, AgreesWithNaiveOnRandomText) {
+  const auto c = cfg({"abca", "bb", "cabc", "a", "abcabc"});
+  const AhoCorasick ac(c);
+  const std::string text = random_text(50000, c, 0.02, 303, 'a', 'c');
+  EXPECT_EQ(ac.count_matches(text), count_matches_naive(text, c));
+}
+
+TEST(AhoCorasick, OverlappingSuffixPatterns) {
+  // "she" contains "he": the failure links must report both.
+  const auto c = cfg({"she", "he", "hers"});
+  const AhoCorasick ac(c);
+  const auto counts = ac.count_matches("ushers");
+  EXPECT_EQ(counts[0], 1u);  // she
+  EXPECT_EQ(counts[1], 1u);  // he
+  EXPECT_EQ(counts[2], 1u);  // hers
+}
+
+TEST(AhoCorasick, DuplicatePatternsEachCount) {
+  const auto c = cfg({"ab", "ab"});
+  const AhoCorasick ac(c);
+  const auto counts = ac.count_matches("abab");
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(AhoCorasick, StateCountIsTriePlusRoot) {
+  const auto c = cfg({"abc", "abd"});  // root + a, ab, abc, abd
+  EXPECT_EQ(AhoCorasick(c).num_states(), 5u);
+}
+
+TEST(StrMatchDesign, FunctionalModelMatchesSoftware) {
+  const auto c = cfg({"abca", "bb", "ca"});
+  const StrMatchDesign design(c);
+  const std::string text = random_text(10000, c, 0.02, 21, 'a', 'c');
+  EXPECT_EQ(design.count_matches(text), count_matches_naive(text, c));
+}
+
+TEST(StrMatchDesign, CycleModelIsTextRatePlusDrain) {
+  const StrMatchDesign design(cfg({"abcdef", "xy"}, 4096));
+  EXPECT_EQ(design.cycles_per_iteration(), 4096u + 6u);
+}
+
+TEST(StrMatchDesign, IoPattern) {
+  const StrMatchDesign design(cfg({"ab", "cd", "ef"}, 2048));
+  const auto io = design.io();
+  EXPECT_EQ(io.input_chunks_bytes, std::vector<std::size_t>{2048});
+  EXPECT_EQ(io.output_chunks_bytes, std::vector<std::size_t>{24});
+}
+
+TEST(StrMatchDesign, ResourcesScaleWithPatternVolume) {
+  const auto small = StrMatchDesign(cfg({"ab"})).resource_items();
+  const auto large =
+      StrMatchDesign(cfg({std::string(40, 'x'), std::string(40, 'y')}))
+          .resource_items();
+  const auto device = rcsim::virtex4_lx100();
+  const auto rs = core::run_resource_test(small, device);
+  const auto rl = core::run_resource_test(large, device);
+  EXPECT_GT(rl.usage.logic, rs.usage.logic);
+  EXPECT_EQ(rs.usage.dsp, 0);  // pure-logic kernel, no multipliers
+  EXPECT_TRUE(rl.feasible);
+}
+
+TEST(StrMatchDesign, WorksheetSelfConsistent) {
+  const StrMatchDesign design(cfg({"abcd", "efgh"}, 4096));
+  const core::CommunicationParams comm{1e9, 0.37, 0.16};
+  const auto in = design.rat_inputs(1.0, 100, comm);
+  EXPECT_NO_THROW(in.validate());
+  // ops/element == throughput_proc: the array retires one element/cycle,
+  // so predicted tcomp = chunk / fclock.
+  const auto p = core::predict(in, 100e6);
+  EXPECT_NEAR(p.t_comp_sec, 4096.0 / 100e6, 1e-12);
+  // The cycle model adds only the pipeline drain on top of that.
+  EXPECT_NEAR(static_cast<double>(design.cycles_per_iteration()) / 100e6,
+              p.t_comp_sec, 1e-7);
+}
+
+}  // namespace
+}  // namespace rat::apps

@@ -1,0 +1,132 @@
+#include "apps/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "apps/opcount.hpp"
+#include "util/stats.hpp"
+
+namespace rat::apps {
+namespace {
+
+TEST(GaussianMixture1d, SamplesInUnitIntervalAndDeterministic) {
+  const auto a = gaussian_mixture_1d(5000, default_mixture_1d(), 42);
+  const auto b = gaussian_mixture_1d(5000, default_mixture_1d(), 42);
+  ASSERT_EQ(a.size(), 5000u);
+  EXPECT_EQ(a, b);
+  for (double x : a) {
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(GaussianMixture1d, DifferentSeedsDiffer) {
+  const auto a = gaussian_mixture_1d(100, default_mixture_1d(), 1);
+  const auto b = gaussian_mixture_1d(100, default_mixture_1d(), 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(GaussianMixture1d, ModesWhereExpected) {
+  // Default mixture: modes near 0.3 and 0.7, with the 0.3 mode heavier.
+  const auto xs = gaussian_mixture_1d(20000, default_mixture_1d(), 7);
+  int low = 0, high = 0;
+  for (double x : xs) {
+    if (x > 0.2 && x < 0.4) ++low;
+    if (x > 0.6 && x < 0.8) ++high;
+  }
+  EXPECT_GT(low, high);
+  EXPECT_GT(low, 20000 / 4);
+}
+
+TEST(GaussianMixture1d, Validation) {
+  EXPECT_THROW(gaussian_mixture_1d(10, {}, 1), std::invalid_argument);
+  EXPECT_THROW(
+      gaussian_mixture_1d(10, {MixtureComponent{0.5, 0.1, 0.0}}, 1),
+      std::invalid_argument);
+}
+
+TEST(GaussianMixture2d, InUnitSquareAndDeterministic) {
+  const auto a = gaussian_mixture_2d(3000, 11);
+  ASSERT_EQ(a.size(), 3000u);
+  EXPECT_EQ(a, gaussian_mixture_2d(3000, 11));
+  for (const auto& s : a) {
+    ASSERT_GE(s[0], 0.0);
+    ASSERT_LT(s[0], 1.0);
+    ASSERT_GE(s[1], 0.0);
+    ASSERT_LT(s[1], 1.0);
+  }
+}
+
+TEST(GaussianMixture2d, AxesAreCorrelated) {
+  // The rotated blobs give positive x/y correlation.
+  const auto xs = gaussian_mixture_2d(20000, 13);
+  double mx = 0, my = 0;
+  for (const auto& s : xs) {
+    mx += s[0];
+    my += s[1];
+  }
+  mx /= xs.size();
+  my /= xs.size();
+  double cov = 0, vx = 0, vy = 0;
+  for (const auto& s : xs) {
+    cov += (s[0] - mx) * (s[1] - my);
+    vx += (s[0] - mx) * (s[0] - mx);
+    vy += (s[1] - my) * (s[1] - my);
+  }
+  const double corr = cov / std::sqrt(vx * vy);
+  EXPECT_GT(corr, 0.3);
+}
+
+TEST(ParticleBox, LayoutAndDeterminism) {
+  const auto sys = particle_box(512, 2.0, 1.5, 99);
+  EXPECT_EQ(sys.size(), 512u);
+  EXPECT_DOUBLE_EQ(sys.box_length, 2.0);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    ASSERT_GE(sys.px[i], 0.0);
+    ASSERT_LT(sys.px[i], 2.0);
+    ASSERT_GE(sys.pz[i], 0.0);
+    ASSERT_LT(sys.pz[i], 2.0);
+    ASSERT_DOUBLE_EQ(sys.ax[i], 0.0);
+  }
+  const auto sys2 = particle_box(512, 2.0, 1.5, 99);
+  EXPECT_EQ(sys.px, sys2.px);
+  EXPECT_EQ(sys.vz, sys2.vz);
+}
+
+TEST(ParticleBox, VelocityTemperatureScaling) {
+  const auto cold = particle_box(4000, 1.0, 0.01, 5);
+  const auto hot = particle_box(4000, 1.0, 4.0, 5);
+  util::RunningStats sc, sh;
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    sc.add(cold.vx[i]);
+    sh.add(hot.vx[i]);
+  }
+  EXPECT_NEAR(sc.stddev(), 0.1, 0.01);   // sqrt(0.01)
+  EXPECT_NEAR(sh.stddev(), 2.0, 0.1);    // sqrt(4)
+}
+
+TEST(ParticleBox, Validation) {
+  EXPECT_THROW(particle_box(0, 1.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(particle_box(10, 0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(particle_box(10, 1.0, -1.0, 1), std::invalid_argument);
+}
+
+TEST(OpCounter, TotalsAndWeights) {
+  OpCounter c;
+  c.adds = 5;
+  c.muls = 3;
+  c.divs = 2;
+  c.sqrts = 1;
+  EXPECT_EQ(c.total_unit_weight(), 11u);
+  EXPECT_EQ(c.total_weighted(16, 16), 5u + 3u + 2u * 16u + 16u);
+  OpCounter d;
+  d.subs = 4;
+  c += d;
+  EXPECT_EQ(c.subs, 4u);
+  EXPECT_NE(c.to_string().find("muls=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rat::apps

@@ -1,0 +1,95 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rat::core {
+namespace {
+
+std::vector<TransferSample> exact_samples(double overhead, double bw) {
+  std::vector<TransferSample> out;
+  for (std::size_t bytes : {256u, 1024u, 4096u, 65536u, 1048576u})
+    out.push_back({bytes, overhead + static_cast<double>(bytes) / bw});
+  return out;
+}
+
+TEST(Calibration, RecoversExactParameters) {
+  const auto fit = fit_link_direction(exact_samples(2.61e-6, 7.0e8));
+  EXPECT_NEAR(fit.fixed_overhead_sec, 2.61e-6, 1e-9);
+  EXPECT_NEAR(fit.sustained_bw, 7.0e8, 1e3);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_LT(fit.max_relative_residual, 1e-9);
+}
+
+TEST(Calibration, Validation) {
+  std::vector<TransferSample> one{{1024, 1e-5}};
+  EXPECT_THROW(fit_link_direction(one), std::invalid_argument);
+  std::vector<TransferSample> same_size{{1024, 1e-5}, {1024, 1.1e-5}};
+  EXPECT_THROW(fit_link_direction(same_size), std::invalid_argument);
+  std::vector<TransferSample> bad_time{{1024, 0.0}, {2048, 1e-5}};
+  EXPECT_THROW(fit_link_direction(bad_time), std::invalid_argument);
+  // Time decreasing with size: negative per-byte cost.
+  std::vector<TransferSample> inverted{{1024, 2e-5}, {1048576, 1e-5}};
+  EXPECT_THROW(fit_link_direction(inverted), std::invalid_argument);
+}
+
+TEST(Calibration, NegativeInterceptClampsToZeroOverhead) {
+  // Concave data can produce a slightly negative intercept; the fit must
+  // report a physical (zero) overhead rather than a negative one.
+  std::vector<TransferSample> samples{
+      {1000, 0.9e-6}, {2000, 2.1e-6}, {4000, 4.05e-6}};
+  const auto fit = fit_link_direction(samples);
+  EXPECT_GE(fit.fixed_overhead_sec, 0.0);
+}
+
+TEST(Calibration, RoundTripsTheNallatechModel) {
+  // Calibrating against the simulated Nallatech bus recovers its own
+  // parameters (no jitter -> machine precision).
+  const auto link = rcsim::nallatech_pcix_link();
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 256; s <= (1u << 20); s *= 4) sizes.push_back(s);
+  const auto [h2f, f2h] = calibrate_from_microbench(link, sizes);
+  EXPECT_NEAR(h2f.fixed_overhead_sec, 2.61e-6, 1e-8);
+  EXPECT_NEAR(h2f.sustained_bw, 7.0e8, 1e5);
+  EXPECT_NEAR(f2h.fixed_overhead_sec, 9.87e-6, 1e-8);
+}
+
+TEST(Calibration, ToleratesJitterWithAveraging) {
+  rcsim::Link link = rcsim::nallatech_pcix_link();
+  link.set_jitter(0.15);
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 256; s <= (1u << 20); s *= 2) sizes.push_back(s);
+  const auto [h2f, f2h] =
+      calibrate_from_microbench(link, sizes, /*repeats=*/256, /*seed=*/3);
+  EXPECT_NEAR(h2f.sustained_bw, 7.0e8, 0.05 * 7.0e8);
+  EXPECT_NEAR(f2h.fixed_overhead_sec, 9.87e-6, 0.3 * 9.87e-6);
+  EXPECT_GT(h2f.r_squared, 0.99);
+}
+
+TEST(Calibration, FittedCurveSuppliesAlphaAtEverySize) {
+  // The §4.3 lesson: a single-probe alpha misleads at other sizes. The
+  // fitted curve reproduces the true alpha across the whole range.
+  const auto link = rcsim::nallatech_pcix_link();
+  std::vector<std::size_t> sizes{512, 2048, 16384, 262144};
+  const auto [h2f, _] = calibrate_from_microbench(link, sizes);
+  for (std::size_t bytes : {300u, 2048u, 100000u, 4000000u}) {
+    EXPECT_NEAR(h2f.alpha_at(bytes, link.documented_bw()),
+                link.measured_alpha(bytes, rcsim::Direction::kHostToFpga),
+                0.01)
+        << bytes;
+  }
+  EXPECT_DOUBLE_EQ(h2f.alpha_at(0, 1e9), 0.0);
+}
+
+TEST(Calibration, ToDirectionBuildsUsableLink) {
+  const auto fit = fit_link_direction(exact_samples(5e-6, 5e8));
+  const auto dir = fit.to_direction(1e-6);
+  EXPECT_DOUBLE_EQ(dir.rearm_sec, 1e-6);
+  const rcsim::Link link("fitted", 1e9, dir, dir);
+  EXPECT_NEAR(link.single_transfer_time(5000, rcsim::Direction::kHostToFpga),
+              5e-6 + 1e-5, 1e-9);
+}
+
+}  // namespace
+}  // namespace rat::core

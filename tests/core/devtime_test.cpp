@@ -1,0 +1,98 @@
+#include "core/devtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/units.hpp"
+
+namespace rat::core {
+namespace {
+
+BreakEvenInputs economics(double dev_hours, double runs_per_month,
+                          double horizon = 24.0) {
+  BreakEvenInputs e;
+  e.development_hours = dev_hours;
+  e.runs_per_month = runs_per_month;
+  e.months_horizon = horizon;
+  return e;
+}
+
+TEST(BreakEven, SavingsArithmetic) {
+  // 2-D PDF at 150 MHz: tsoft 158.8 s, tRC 23.0 s -> ~135.8 s saved/run.
+  const auto pred = predict(pdf2d_inputs(), mhz(150));
+  const auto r = break_even(pred, 158.8, economics(50.0, 300.0));
+  EXPECT_NEAR(r.time_saved_per_run_sec, 158.8 - pred.t_rc_sb_sec, 1e-9);
+  EXPECT_NEAR(r.hours_saved_per_month,
+              r.time_saved_per_run_sec * 300.0 / 3600.0, 1e-9);
+  ASSERT_TRUE(r.break_even_months.has_value());
+  EXPECT_NEAR(*r.break_even_months, 50.0 / r.hours_saved_per_month, 1e-9);
+  EXPECT_TRUE(r.worth_it());
+}
+
+TEST(BreakEven, SlowdownNeverBreaksEven) {
+  RatInputs in = pdf1d_inputs();
+  in.comp.throughput_ops_per_cycle = 1.0;  // slower than software
+  const auto pred = predict(in, mhz(75));
+  ASSERT_LT(pred.speedup_sb, 1.0);
+  const auto r = break_even(pred, 0.578, economics(10.0, 1000.0));
+  EXPECT_FALSE(r.break_even_months.has_value());
+  EXPECT_LT(r.net_hours_over_horizon, 0.0);
+  EXPECT_FALSE(r.worth_it());
+}
+
+TEST(BreakEven, OutsideHorizonIsNotWorthIt) {
+  // Tiny per-run saving, rare runs, huge effort: break-even far beyond
+  // the window.
+  const auto pred = predict(pdf1d_inputs(), mhz(150));  // saves ~0.5 s/run
+  const auto r = break_even(pred, 0.578, economics(1000.0, 1.0, 12.0));
+  EXPECT_FALSE(r.break_even_months.has_value());
+  EXPECT_FALSE(r.worth_it());
+}
+
+TEST(BreakEven, ZeroEffortPaysImmediately) {
+  const auto pred = predict(pdf2d_inputs(), mhz(150));
+  const auto r = break_even(pred, 158.8, economics(0.0, 10.0));
+  ASSERT_TRUE(r.break_even_months.has_value());
+  EXPECT_DOUBLE_EQ(*r.break_even_months, 0.0);
+}
+
+TEST(BreakEven, Validation) {
+  const auto pred = predict(pdf1d_inputs(), mhz(100));
+  EXPECT_THROW(break_even(pred, 0.0, economics(1, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(break_even(pred, 1.0, economics(-1, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(break_even(pred, 1.0, economics(1, 1, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(RequiredSpeedup, RoundTripsThroughBreakEven) {
+  const BreakEvenInputs e = economics(100.0, 500.0, 24.0);
+  const auto s = required_speedup(158.8, e);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GT(*s, 1.0);
+  // A design exactly at the required speedup nets ~zero over the horizon.
+  ThroughputPrediction tuned;
+  tuned.t_rc_sb_sec = 158.8 / *s;
+  const auto r = break_even(tuned, 158.8, e);
+  EXPECT_NEAR(r.net_hours_over_horizon, 0.0, 1e-6);
+}
+
+TEST(RequiredSpeedup, ImpossibleEconomicsReturnsNullopt) {
+  // Effort so large even infinite speedup cannot recoup it in the window.
+  EXPECT_FALSE(required_speedup(1.0, economics(1e6, 1.0, 1.0)).has_value());
+  // No runs at all: nothing to save.
+  EXPECT_FALSE(required_speedup(10.0, economics(10.0, 0.0)).has_value());
+  EXPECT_THROW(required_speedup(0.0, economics(1, 1)),
+               std::invalid_argument);
+}
+
+TEST(RequiredSpeedup, ZeroEffortNeedsOnlyParity) {
+  const auto s = required_speedup(10.0, economics(0.0, 5.0));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_DOUBLE_EQ(*s, 1.0);
+}
+
+}  // namespace
+}  // namespace rat::core

@@ -1,0 +1,197 @@
+#include "core/methodology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/units.hpp"
+#include "util/rng.hpp"
+
+namespace rat::core {
+namespace {
+
+/// A candidate whose throughput/precision/resources can be dialed to pass
+/// or fail each Fig.-1 test independently.
+DesignCandidate make_candidate(const std::string& name, double ops_per_cycle,
+                               int mult_count, double kernel_quality_bits) {
+  DesignCandidate c;
+  c.inputs = pdf1d_inputs();
+  c.inputs.name = name;
+  c.inputs.comp.throughput_ops_per_cycle = ops_per_cycle;
+  c.decision_clock_hz = mhz(100);
+
+  // Precision kernel: quantize a fixed dataset; "quality" shifts how many
+  // bits it needs by scaling the signal down (wasting leading bits).
+  static const std::vector<double> ref = [] {
+    util::Rng rng(3);
+    std::vector<double> xs(200);
+    for (auto& x : xs) x = rng.uniform(-0.9, 0.9);
+    return xs;
+  }();
+  const double scale = std::ldexp(1.0, -static_cast<int>(kernel_quality_bits));
+  c.precision_reference = ref;
+  c.precision_kernel = [scale](fx::Format fmt) {
+    std::vector<double> out;
+    out.reserve(ref.size());
+    for (double x : ref) {
+      const auto q = fx::Fixed::from_double(x * scale, fmt,
+                                            fx::Rounding::kTruncate);
+      out.push_back(q.to_double() / scale);
+    }
+    return out;
+  };
+  c.resources = {ResourceItem{"MACs", 1, 18, 0, 400, mult_count}};
+  return c;
+}
+
+Requirements default_req() {
+  Requirements req;
+  req.min_speedup = 5.0;
+  req.precision = PrecisionRequirements{2.0, 8, 24, 0};
+  return req;
+}
+
+TEST(Methodology, AcceptsGoodCandidate) {
+  const auto out = run_methodology({make_candidate("good", 20, 8, 0)},
+                                   default_req(), rcsim::virtex4_lx100());
+  EXPECT_TRUE(out.proceed);
+  ASSERT_TRUE(out.accepted_index.has_value());
+  EXPECT_EQ(*out.accepted_index, 0u);
+  EXPECT_EQ(out.last_reject, RejectReason::kNone);
+  // Trace: throughput, precision, resource, PROCEED.
+  ASSERT_EQ(out.trace.size(), 4u);
+  EXPECT_EQ(out.trace.back().step, Step::kProceed);
+}
+
+TEST(Methodology, RejectsOnThroughputFirst) {
+  // 0.5 ops/cycle -> predicted speedup far below 5x; later tests not run.
+  const auto out = run_methodology({make_candidate("slow", 0.5, 8, 0)},
+                                   default_req(), rcsim::virtex4_lx100());
+  EXPECT_FALSE(out.proceed);
+  EXPECT_EQ(out.last_reject, RejectReason::kInsufficientThroughput);
+  ASSERT_EQ(out.trace.size(), 2u);  // throughput FAIL + rejected
+  EXPECT_EQ(out.trace[0].step, Step::kThroughputTest);
+  EXPECT_FALSE(out.trace[0].passed);
+}
+
+TEST(Methodology, RejectsOnPrecision) {
+  // Wasting 30 leading bits makes even 24-bit formats fail 2% tolerance.
+  const auto out = run_methodology({make_candidate("imprecise", 20, 8, 30)},
+                                   default_req(), rcsim::virtex4_lx100());
+  EXPECT_FALSE(out.proceed);
+  EXPECT_EQ(out.last_reject, RejectReason::kUnrealizablePrecision);
+}
+
+TEST(Methodology, RejectsOnResources) {
+  const auto out = run_methodology({make_candidate("huge", 20, 200, 0)},
+                                   default_req(), rcsim::virtex4_lx100());
+  EXPECT_FALSE(out.proceed);
+  EXPECT_EQ(out.last_reject, RejectReason::kInsufficientResources);
+}
+
+TEST(Methodology, IteratesUntilSuitableVersionFound) {
+  // Paper §3: applied iteratively until a suitable version is formulated.
+  const auto out = run_methodology(
+      {make_candidate("v1 too slow", 0.5, 8, 0),
+       make_candidate("v2 too big", 20, 200, 0),
+       make_candidate("v3 good", 20, 8, 0)},
+      default_req(), rcsim::virtex4_lx100());
+  EXPECT_TRUE(out.proceed);
+  EXPECT_EQ(*out.accepted_index, 2u);
+  EXPECT_EQ(out.predictions.size(), 3u);
+}
+
+TEST(Methodology, AllPermutationsExhausted) {
+  const auto out = run_methodology(
+      {make_candidate("v1", 0.5, 8, 0), make_candidate("v2", 0.4, 8, 0)},
+      default_req(), rcsim::virtex4_lx100());
+  EXPECT_FALSE(out.proceed);
+  EXPECT_FALSE(out.accepted_index.has_value());
+}
+
+TEST(Methodology, PrecisionTestSkippableLikeMd) {
+  Requirements req = default_req();
+  req.precision.reset();  // HLL float design: no fixed-point search
+  DesignCandidate c = make_candidate("md-like", 20, 8, 0);
+  c.precision_kernel = nullptr;  // would throw if the test were run
+  const auto out =
+      run_methodology({c}, req, rcsim::stratix2_ep2s180());
+  EXPECT_TRUE(out.proceed);
+  ASSERT_EQ(out.trace.size(), 3u);  // no precision entry
+}
+
+TEST(Methodology, MissingKernelWithPrecisionRequestedThrows) {
+  DesignCandidate c = make_candidate("broken", 20, 8, 0);
+  c.precision_kernel = nullptr;
+  EXPECT_THROW(
+      run_methodology({c}, default_req(), rcsim::virtex4_lx100()),
+      std::invalid_argument);
+}
+
+TEST(Methodology, DoubleBufferedRequirementUsesDbSpeedup) {
+  // A candidate whose SB speedup misses but DB speedup meets the bar.
+  DesignCandidate c = make_candidate("db-rescued", 20, 8, 0);
+  c.inputs.comm.alpha_write = 0.01;  // comm-heavy: SB penalized
+  Requirements req = default_req();
+  req.min_speedup = 5.0;
+  const auto sb = run_methodology({c}, req, rcsim::virtex4_lx100());
+  EXPECT_FALSE(sb.proceed);
+  req.double_buffered = true;
+  const auto db = run_methodology({c}, req, rcsim::virtex4_lx100());
+  EXPECT_TRUE(db.proceed);
+}
+
+TEST(Methodology, OptionalPowerGatePassesFrugalDesign) {
+  Requirements req = default_req();
+  req.min_energy_ratio = 2.0;  // must save at least 2x energy
+  const auto out = run_methodology({make_candidate("good", 20, 8, 0)}, req,
+                                   rcsim::virtex4_lx100());
+  EXPECT_TRUE(out.proceed) << out.render_trace();
+  // Trace gains a power entry before PROCEED.
+  ASSERT_EQ(out.trace.size(), 5u);
+  EXPECT_EQ(out.trace[3].step, Step::kPowerTest);
+  EXPECT_TRUE(out.trace[3].passed);
+}
+
+TEST(Methodology, OptionalPowerGateRejectsPowerHungryFpga) {
+  Requirements req = default_req();
+  req.min_energy_ratio = 2.0;
+  // A power-hungry board (big static draw) against a frugal host: the
+  // migration is fast but burns more energy than it saves.
+  req.power_model.static_watts = 150.0;
+  req.host_power_model.busy_watts = 15.0;
+  req.host_power_model.idle_watts = 5.0;
+  const auto out = run_methodology({make_candidate("good", 20, 8, 0)}, req,
+                                   rcsim::virtex4_lx100());
+  EXPECT_FALSE(out.proceed);
+  EXPECT_EQ(out.last_reject, RejectReason::kInsufficientEnergySavings);
+}
+
+TEST(Methodology, PowerGateSkippedByDefault) {
+  const auto out = run_methodology({make_candidate("good", 20, 8, 0)},
+                                   default_req(), rcsim::virtex4_lx100());
+  for (const auto& e : out.trace) EXPECT_NE(e.step, Step::kPowerTest);
+}
+
+TEST(Methodology, InputValidation) {
+  EXPECT_THROW(
+      run_methodology({}, default_req(), rcsim::virtex4_lx100()),
+      std::invalid_argument);
+  Requirements req = default_req();
+  req.min_speedup = 0.0;
+  EXPECT_THROW(run_methodology({make_candidate("x", 20, 8, 0)}, req,
+                               rcsim::virtex4_lx100()),
+               std::invalid_argument);
+}
+
+TEST(Methodology, TraceRenders) {
+  const auto out = run_methodology({make_candidate("good", 20, 8, 0)},
+                                   default_req(), rcsim::virtex4_lx100());
+  const std::string s = out.render_trace();
+  EXPECT_NE(s.find("throughput PASS"), std::string::npos);
+  EXPECT_NE(s.find("PROCEED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rat::core

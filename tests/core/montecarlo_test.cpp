@@ -1,0 +1,128 @@
+#include "core/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/units.hpp"
+
+namespace rat::core {
+namespace {
+
+TEST(InputDistribution, FactoriesValidate) {
+  EXPECT_NO_THROW(InputDistribution::uniform(1.0, 2.0));
+  EXPECT_THROW(InputDistribution::uniform(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(InputDistribution::uniform(1.0, 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(InputDistribution::normal(1.0, 0.1, 0.0, 2.0));
+  EXPECT_THROW(InputDistribution::normal(1.0, 0.0, 0.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(InputDistribution::normal(1.0, 0.1, 2.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(MonteCarlo, FixedModelReproducesPointPrediction) {
+  const RatInputs in = pdf1d_inputs();
+  UncertaintyModel model;  // everything kFixed
+  const auto r = run_monte_carlo(in, model, 100, 0.0, 7);
+  const auto point = predict(in, in.comp.fclock_hz.front());
+  EXPECT_DOUBLE_EQ(r.speedup_sb.p10, point.speedup_sb);
+  EXPECT_DOUBLE_EQ(r.speedup_sb.p90, point.speedup_sb);
+  EXPECT_DOUBLE_EQ(r.t_comm_sec.p50, point.t_comm_sec);
+  EXPECT_DOUBLE_EQ(r.speedup_sb.relative_spread(), 0.0);
+}
+
+TEST(MonteCarlo, DeterministicPerSeed) {
+  const RatInputs in = md_inputs();
+  const auto model = UncertaintyModel::typical(in);
+  const auto a = run_monte_carlo(in, model, 500, 10.0, 42);
+  const auto b = run_monte_carlo(in, model, 500, 10.0, 42);
+  EXPECT_EQ(a.speedup_sb_samples, b.speedup_sb_samples);
+  EXPECT_DOUBLE_EQ(a.probability_of_goal, b.probability_of_goal);
+  const auto c = run_monte_carlo(in, model, 500, 10.0, 43);
+  EXPECT_NE(a.speedup_sb_samples, c.speedup_sb_samples);
+}
+
+TEST(MonteCarlo, PercentilesAreOrderedAndBracketPoint) {
+  const RatInputs in = md_inputs();
+  const auto model = UncertaintyModel::typical(in);
+  const auto r = run_monte_carlo(in, model, 4000, 0.0, 11);
+  EXPECT_LE(r.speedup_sb.p10, r.speedup_sb.p50);
+  EXPECT_LE(r.speedup_sb.p50, r.speedup_sb.p90);
+  EXPECT_LT(r.speedup_sb.p10, r.speedup_sb.p90);  // genuinely uncertain
+  // The point prediction at the first clock lies inside the band (clock
+  // uncertainty spans the candidate range, so the band is wide).
+  const auto lo = predict(in, mhz(75)).speedup_sb;
+  const auto hi = predict(in, mhz(150)).speedup_sb;
+  EXPECT_GT(r.speedup_sb.p90, lo);
+  EXPECT_LT(r.speedup_sb.p10, hi);
+  EXPECT_EQ(r.speedup_sb_samples.size(), 4000u);
+  EXPECT_TRUE(std::is_sorted(r.speedup_sb_samples.begin(),
+                             r.speedup_sb_samples.end()));
+}
+
+TEST(MonteCarlo, GoalProbabilityMonotoneInGoal) {
+  const RatInputs in = md_inputs();
+  const auto model = UncertaintyModel::typical(in);
+  double prev = 1.1;
+  for (double goal : {5.0, 8.0, 10.0, 13.0, 18.0, 24.0}) {
+    const auto r = run_monte_carlo(in, model, 2000, goal, 21);
+    EXPECT_LE(r.probability_of_goal, prev);
+    prev = r.probability_of_goal;
+  }
+  // 5x should be near-certain; 24x near-impossible for this worksheet
+  // (it needs the favourable tail of clock, ops AND parallelism at once).
+  EXPECT_GT(run_monte_carlo(in, model, 2000, 5.0, 21).probability_of_goal,
+            0.95);
+  EXPECT_LT(run_monte_carlo(in, model, 2000, 24.0, 21).probability_of_goal,
+            0.02);
+}
+
+TEST(MonteCarlo, WiderUncertaintyWidensTheBand) {
+  const RatInputs in = pdf1d_inputs();
+  UncertaintyModel narrow;
+  narrow.throughput_proc = InputDistribution::uniform(19.0, 21.0);
+  UncertaintyModel wide;
+  wide.throughput_proc = InputDistribution::uniform(10.0, 30.0);
+  const auto rn = run_monte_carlo(in, narrow, 3000, 0.0, 5);
+  const auto rw = run_monte_carlo(in, wide, 3000, 0.0, 5);
+  EXPECT_LT(rn.speedup_sb.relative_spread(),
+            rw.speedup_sb.relative_spread());
+}
+
+TEST(MonteCarlo, NormalDistributionStaysWithinTruncation) {
+  const RatInputs in = pdf1d_inputs();
+  UncertaintyModel m;
+  m.alpha_write = InputDistribution::normal(0.37, 0.5, 0.30, 0.44);
+  const auto r = run_monte_carlo(in, m, 2000, 0.0, 9);
+  // alpha in [0.30, 0.44] bounds t_write; all samples must respect it.
+  const double t_min = 2048.0 / (0.44 * 1e9) + 4.0 / (0.16 * 1e9);
+  const double t_max = 2048.0 / (0.30 * 1e9) + 4.0 / (0.16 * 1e9);
+  EXPECT_GE(r.t_comm_sec.p10, t_min - 1e-12);
+  EXPECT_LE(r.t_comm_sec.p90, t_max + 1e-12);
+}
+
+TEST(MonteCarlo, AlphaSamplesNeverExceedOne) {
+  RatInputs in = pdf1d_inputs();
+  in.comm.alpha_write = 0.95;
+  UncertaintyModel m;
+  m.alpha_write = InputDistribution::uniform(0.9, 1.5);  // spills over 1
+  // predict() validates alpha <= 1, so this only passes if sampling clamps.
+  EXPECT_NO_THROW(run_monte_carlo(in, m, 500, 0.0, 3));
+}
+
+TEST(MonteCarlo, TypicalModelUsesCandidateClockRange) {
+  const RatInputs in = pdf1d_inputs();  // clocks 75/100/150
+  const auto m = UncertaintyModel::typical(in);
+  EXPECT_EQ(m.fclock_hz.kind, InputDistribution::Kind::kUniform);
+  EXPECT_DOUBLE_EQ(m.fclock_hz.lo, mhz(75));
+  EXPECT_DOUBLE_EQ(m.fclock_hz.hi, mhz(150));
+  EXPECT_EQ(m.tsoft_sec.kind, InputDistribution::Kind::kFixed);
+}
+
+TEST(MonteCarlo, RejectsTinySampleCounts) {
+  const RatInputs in = pdf1d_inputs();
+  EXPECT_THROW(run_monte_carlo(in, {}, 1, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rat::core

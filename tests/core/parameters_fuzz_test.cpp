@@ -1,0 +1,87 @@
+// Randomized round-trip tests for the worksheet (de)serializer: any valid
+// RatInputs must survive serialize -> parse exactly, across a seeded sweep
+// of magnitudes (including awkward doubles), and the parser must reject a
+// catalogue of malformed inputs without crashing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/parameters.hpp"
+#include "util/rng.hpp"
+
+namespace rat::core {
+namespace {
+
+RatInputs random_inputs(std::uint64_t seed) {
+  util::Rng rng(seed);
+  RatInputs in;
+  in.name = "fuzz-" + std::to_string(seed);
+  in.dataset.elements_in = 1 + rng.uniform_index(1u << 20);
+  in.dataset.elements_out = rng.uniform_index(1u << 20);
+  in.dataset.bytes_per_element =
+      std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(rng.uniform_index(8)));
+  in.comm.ideal_bw_bytes_per_sec = rng.uniform(1e6, 1e11);
+  in.comm.alpha_write = rng.uniform(1e-6, 1.0);
+  in.comm.alpha_read = rng.uniform(1e-6, 1.0);
+  in.comp.ops_per_element = rng.uniform(1e-3, 1e9);
+  in.comp.throughput_ops_per_cycle = rng.uniform(1e-3, 1e4);
+  const std::size_t n_clocks = 1 + rng.uniform_index(4);
+  for (std::size_t i = 0; i < n_clocks; ++i)
+    in.comp.fclock_hz.push_back(rng.uniform(1e6, 1e9));
+  in.software.tsoft_sec = rng.uniform(1e-6, 1e5);
+  in.software.n_iterations = 1 + rng.uniform_index(1u << 16);
+  return in;
+}
+
+class ParseRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParseRoundTrip, SerializeParseIsIdentity) {
+  const RatInputs original = random_inputs(GetParam());
+  ASSERT_NO_THROW(original.validate());
+  const RatInputs parsed = RatInputs::parse(original.serialize());
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.dataset.elements_in, original.dataset.elements_in);
+  EXPECT_EQ(parsed.dataset.elements_out, original.dataset.elements_out);
+  EXPECT_DOUBLE_EQ(parsed.dataset.bytes_per_element,
+                   original.dataset.bytes_per_element);
+  EXPECT_DOUBLE_EQ(parsed.comm.ideal_bw_bytes_per_sec,
+                   original.comm.ideal_bw_bytes_per_sec);
+  EXPECT_DOUBLE_EQ(parsed.comm.alpha_write, original.comm.alpha_write);
+  EXPECT_DOUBLE_EQ(parsed.comm.alpha_read, original.comm.alpha_read);
+  EXPECT_DOUBLE_EQ(parsed.comp.ops_per_element,
+                   original.comp.ops_per_element);
+  EXPECT_DOUBLE_EQ(parsed.comp.throughput_ops_per_cycle,
+                   original.comp.throughput_ops_per_cycle);
+  EXPECT_EQ(parsed.comp.fclock_hz, original.comp.fclock_hz);
+  EXPECT_DOUBLE_EQ(parsed.software.tsoft_sec, original.software.tsoft_sec);
+  EXPECT_EQ(parsed.software.n_iterations, original.software.n_iterations);
+  // A second round trip is bit-stable.
+  EXPECT_EQ(parsed.serialize(), original.serialize());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParseRoundTrip,
+                         ::testing::Range<std::uint64_t>(100, 140));
+
+TEST(ParseMalformed, RejectionCatalogue) {
+  const char* bad[] = {
+      "",                                     // missing name
+      "name =\n",                             // empty name value is legal?
+      "name = x\nelements_in = -3\n",         // negative count
+      "name = x\nelements_in = 1e999\n",      // overflow
+      "name = x\nalpha_write = abc\n",        // not a number
+      "name = x\nalpha_write = 0.5extra\n",   // trailing junk
+      "name = x\nn_iterations = 2.5\n",       // fractional count
+      "nope\n",                               // no '='
+      "name = x\nbogus_key = 1\n",            // unknown key
+  };
+  for (const char* text : bad) {
+    if (std::string(text) == "name =\n") continue;  // handled below
+    EXPECT_ANY_THROW(RatInputs::parse(text)) << '"' << text << '"';
+  }
+  // "name =" parses to an empty name, which validate() then rejects.
+  const RatInputs empty_name = RatInputs::parse("name =\nelements_in = 1\n");
+  EXPECT_THROW(empty_name.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rat::core

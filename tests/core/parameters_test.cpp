@@ -1,0 +1,136 @@
+#include "core/parameters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/units.hpp"
+
+namespace rat::core {
+namespace {
+
+TEST(RatInputs, PaperWorksheetsValidate) {
+  EXPECT_NO_THROW(pdf1d_inputs().validate());
+  EXPECT_NO_THROW(pdf2d_inputs().validate());
+  EXPECT_NO_THROW(md_inputs().validate());
+}
+
+TEST(RatInputs, Table2Values) {
+  const RatInputs in = pdf1d_inputs();
+  EXPECT_EQ(in.dataset.elements_in, 512u);
+  EXPECT_EQ(in.dataset.elements_out, 1u);
+  EXPECT_DOUBLE_EQ(in.dataset.bytes_per_element, 4.0);
+  EXPECT_DOUBLE_EQ(in.comm.ideal_bw_bytes_per_sec, 1e9);
+  EXPECT_DOUBLE_EQ(in.comm.alpha_write, 0.37);
+  EXPECT_DOUBLE_EQ(in.comm.alpha_read, 0.16);
+  EXPECT_DOUBLE_EQ(in.comp.ops_per_element, 768.0);
+  EXPECT_DOUBLE_EQ(in.comp.throughput_ops_per_cycle, 20.0);
+  EXPECT_DOUBLE_EQ(in.software.tsoft_sec, 0.578);
+  EXPECT_EQ(in.software.n_iterations, 400u);
+}
+
+TEST(RatInputs, Table5Values) {
+  const RatInputs in = pdf2d_inputs();
+  EXPECT_EQ(in.dataset.elements_in, 1024u);
+  EXPECT_EQ(in.dataset.elements_out, 65536u);
+  EXPECT_DOUBLE_EQ(in.comp.ops_per_element, 393216.0);
+  EXPECT_DOUBLE_EQ(in.comp.throughput_ops_per_cycle, 48.0);
+  EXPECT_DOUBLE_EQ(in.software.tsoft_sec, 158.8);
+}
+
+TEST(RatInputs, Table8Values) {
+  const RatInputs in = md_inputs();
+  EXPECT_EQ(in.dataset.elements_in, 16384u);
+  EXPECT_DOUBLE_EQ(in.dataset.bytes_per_element, 36.0);
+  EXPECT_DOUBLE_EQ(in.comm.ideal_bw_bytes_per_sec, 5e8);
+  EXPECT_DOUBLE_EQ(in.comm.alpha_write, 0.9);
+  EXPECT_DOUBLE_EQ(in.comp.ops_per_element, 164000.0);
+  EXPECT_DOUBLE_EQ(in.comp.throughput_ops_per_cycle, 50.0);
+  EXPECT_EQ(in.software.n_iterations, 1u);
+}
+
+TEST(RatInputs, ValidationCatchesEachBadField) {
+  auto expect_invalid = [](RatInputs in) {
+    EXPECT_THROW(in.validate(), std::invalid_argument);
+  };
+  RatInputs base = pdf1d_inputs();
+
+  RatInputs x = base; x.name.clear(); expect_invalid(x);
+  x = base; x.dataset.elements_in = 0; expect_invalid(x);
+  x = base; x.dataset.bytes_per_element = 0.0; expect_invalid(x);
+  x = base; x.comm.ideal_bw_bytes_per_sec = -1.0; expect_invalid(x);
+  x = base; x.comm.alpha_write = 0.0; expect_invalid(x);
+  x = base; x.comm.alpha_write = 1.1; expect_invalid(x);
+  x = base; x.comm.alpha_read = -0.5; expect_invalid(x);
+  x = base; x.comp.ops_per_element = 0.0; expect_invalid(x);
+  x = base; x.comp.throughput_ops_per_cycle = 0.0; expect_invalid(x);
+  x = base; x.comp.fclock_hz.clear(); expect_invalid(x);
+  x = base; x.comp.fclock_hz = {100e6, -5.0}; expect_invalid(x);
+  x = base; x.software.tsoft_sec = 0.0; expect_invalid(x);
+  x = base; x.software.n_iterations = 0; expect_invalid(x);
+}
+
+TEST(RatInputs, ZeroOutputElementsIsLegal) {
+  RatInputs in = pdf1d_inputs();
+  in.dataset.elements_out = 0;
+  EXPECT_NO_THROW(in.validate());
+}
+
+TEST(RatInputs, SerializeParseRoundTrip) {
+  for (const RatInputs& original :
+       {pdf1d_inputs(), pdf2d_inputs(), md_inputs()}) {
+    const RatInputs parsed = RatInputs::parse(original.serialize());
+    EXPECT_EQ(parsed.name, original.name);
+    EXPECT_EQ(parsed.dataset.elements_in, original.dataset.elements_in);
+    EXPECT_EQ(parsed.dataset.elements_out, original.dataset.elements_out);
+    EXPECT_DOUBLE_EQ(parsed.dataset.bytes_per_element,
+                     original.dataset.bytes_per_element);
+    EXPECT_DOUBLE_EQ(parsed.comm.alpha_write, original.comm.alpha_write);
+    EXPECT_DOUBLE_EQ(parsed.comm.alpha_read, original.comm.alpha_read);
+    EXPECT_DOUBLE_EQ(parsed.comp.ops_per_element,
+                     original.comp.ops_per_element);
+    EXPECT_EQ(parsed.comp.fclock_hz, original.comp.fclock_hz);
+    EXPECT_DOUBLE_EQ(parsed.software.tsoft_sec, original.software.tsoft_sec);
+    EXPECT_EQ(parsed.software.n_iterations, original.software.n_iterations);
+    EXPECT_NO_THROW(parsed.validate());
+  }
+}
+
+TEST(RatInputs, ParseRejectsMalformedText) {
+  EXPECT_THROW(RatInputs::parse("no equals sign"), std::invalid_argument);
+  EXPECT_THROW(RatInputs::parse("unknown_key = 1\nname = x\n"),
+               std::invalid_argument);
+  EXPECT_THROW(RatInputs::parse("elements_in = twelve\nname = x\n"),
+               std::invalid_argument);
+  EXPECT_THROW(RatInputs::parse("elements_in = 12\n"),  // missing name
+               std::invalid_argument);
+  EXPECT_THROW(RatInputs::parse("name = x\nelements_in = 1.5\n"),
+               std::invalid_argument);
+}
+
+TEST(RatInputs, ParseSkipsCommentsAndBlankLines) {
+  const RatInputs in = RatInputs::parse(
+      "# worksheet\n\nname = demo\nelements_in = 8\n");
+  EXPECT_EQ(in.name, "demo");
+  EXPECT_EQ(in.dataset.elements_in, 8u);
+}
+
+TEST(RatInputs, TableRendersKeyRows) {
+  const auto t = pdf1d_inputs().to_table();
+  const std::string s = t.to_ascii();
+  EXPECT_NE(s.find("Nelements, input"), std::string::npos);
+  EXPECT_NE(s.find("512"), std::string::npos);
+  EXPECT_NE(s.find("75/100/150"), std::string::npos);
+  EXPECT_NE(s.find("0.578"), std::string::npos);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(mhz(150), 150e6);
+  EXPECT_DOUBLE_EQ(mbps(1000), 1e9);
+  EXPECT_DOUBLE_EQ(to_mhz(75e6), 75.0);
+  EXPECT_DOUBLE_EQ(kib(2), 2048.0);
+  EXPECT_DOUBLE_EQ(mib(1), 1048576.0);
+}
+
+}  // namespace
+}  // namespace rat::core

@@ -1,0 +1,107 @@
+#include "core/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "apps/md.hpp"
+#include "apps/pdf1d.hpp"
+#include "core/resources.hpp"
+#include "core/units.hpp"
+
+namespace rat::core {
+namespace {
+
+rcsim::ResourceUsage pdf1d_usage() {
+  return run_resource_test(apps::Pdf1dDesign().resource_items(),
+                           rcsim::virtex4_lx100())
+      .usage;
+}
+
+TEST(Power, StaticFloorWithEmptyDesign) {
+  const auto pred = predict(pdf1d_inputs(), mhz(100));
+  PowerModel fpga;
+  fpga.io_watts = 0.0;
+  const auto e = estimate_power({}, pred, 0.578, fpga);
+  EXPECT_DOUBLE_EQ(e.fpga_watts, fpga.static_watts);
+}
+
+TEST(Power, DynamicTermScalesWithClock) {
+  const auto usage = pdf1d_usage();
+  const auto p100 = predict(pdf1d_inputs(), mhz(100));
+  const auto p150 = predict(pdf1d_inputs(), mhz(150));
+  PowerModel fpga;
+  fpga.io_watts = 0.0;  // isolate the fabric term
+  const auto e100 = estimate_power(usage, p100, 0.578, fpga);
+  const auto e150 = estimate_power(usage, p150, 0.578, fpga);
+  const double dyn100 = e100.fpga_watts - fpga.static_watts;
+  const double dyn150 = e150.fpga_watts - fpga.static_watts;
+  EXPECT_NEAR(dyn150, 1.5 * dyn100, 1e-9);
+}
+
+TEST(Power, EnergyIsPowerTimesPredictedTime) {
+  const auto usage = pdf1d_usage();
+  const auto pred = predict(pdf1d_inputs(), mhz(150));
+  const auto e = estimate_power(usage, pred, 0.578);
+  EXPECT_NEAR(e.fpga_energy_joules, e.fpga_watts * pred.t_rc_sb_sec, 1e-12);
+  EXPECT_NEAR(e.host_energy_joules, 90.0 * 0.578, 1e-9);
+  EXPECT_GT(e.fpga_system_energy_joules, e.fpga_energy_joules);
+}
+
+TEST(Power, Pdf1dMigrationSavesEnergy) {
+  // ~10x speedup at a few watts against a 90 W host: a clear energy win —
+  // the "reduced power usage" motivation from the paper's introduction.
+  const auto e = estimate_power(pdf1d_usage(),
+                                predict(pdf1d_inputs(), mhz(150)), 0.578);
+  EXPECT_TRUE(e.saves_energy());
+  EXPECT_GT(e.energy_ratio, 5.0);
+  EXPECT_LT(e.fpga_watts, 15.0);  // sanity: a plausible FPGA power
+  EXPECT_GT(e.fpga_watts, 1.0);
+}
+
+TEST(Power, SlowdownCanStillSaveEnergy) {
+  // Even a speedup < 1 can save energy when the FPGA system draws far
+  // less than the host — the embedded community's break-even case.
+  RatInputs in = pdf1d_inputs();
+  in.comp.throughput_ops_per_cycle = 1.2;  // cripple the design: ~0.6x
+  const auto pred = predict(in, mhz(100));
+  ASSERT_LT(pred.speedup_sb, 1.0);
+  PowerModel frugal;
+  frugal.static_watts = 0.8;
+  frugal.io_watts = 0.2;
+  HostPowerModel host;
+  host.idle_watts = 5.0;  // host sleeps during the FPGA run
+  const auto e = estimate_power(pdf1d_usage(), pred, 0.578, frugal, host);
+  EXPECT_TRUE(e.saves_energy());
+}
+
+TEST(Power, MdNearlyFullChipDrawsMore) {
+  const auto md_usage = run_resource_test(apps::MdDesign().resource_items(),
+                                          rcsim::stratix2_ep2s180())
+                            .usage;
+  const auto e_md = estimate_power(md_usage, predict(md_inputs(), mhz(100)),
+                                   5.78);
+  const auto e_pdf = estimate_power(pdf1d_usage(),
+                                    predict(pdf1d_inputs(), mhz(100)),
+                                    0.578);
+  EXPECT_GT(e_md.fpga_watts, e_pdf.fpga_watts);
+}
+
+TEST(Power, BreakEvenSpeedup) {
+  HostPowerModel host;
+  host.busy_watts = 90.0;
+  EXPECT_NEAR(break_even_speedup_for_energy(9.0, host), 0.1, 1e-12);
+  EXPECT_NEAR(break_even_speedup_for_energy(90.0, host), 1.0, 1e-12);
+  EXPECT_THROW(break_even_speedup_for_energy(0.0, host),
+               std::invalid_argument);
+}
+
+TEST(Power, Validation) {
+  const auto pred = predict(pdf1d_inputs(), mhz(100));
+  EXPECT_THROW(estimate_power({}, pred, 0.0), std::invalid_argument);
+  ThroughputPrediction zero;
+  EXPECT_THROW(estimate_power({}, zero, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rat::core

@@ -1,0 +1,117 @@
+#include "core/precision.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rat::core {
+namespace {
+
+/// Kernel: cumulative products with truncation — error grows with fewer
+/// bits, mimicking an accumulating datapath.
+struct Fixture {
+  std::vector<double> xs;
+  std::vector<double> ref;
+  fx::FixedKernel kernel;
+
+  explicit Fixture(std::size_t n = 400, std::uint64_t seed = 21) {
+    util::Rng rng(seed);
+    xs.resize(n);
+    for (auto& x : xs) x = rng.uniform(0.05, 0.95);
+    ref.reserve(n);
+    for (double x : xs) ref.push_back(x * x * 0.5 + 0.25 * x);
+    kernel = [xs = xs](fx::Format fmt) {
+      std::vector<double> out;
+      out.reserve(xs.size());
+      const fx::Fixed half = fx::Fixed::from_double(0.5, fmt);
+      const fx::Fixed quarter = fx::Fixed::from_double(0.25, fmt);
+      for (double x : xs) {
+        const fx::Fixed fx_x = fx::Fixed::from_double(x, fmt);
+        const auto t = fx::Rounding::kTruncate;
+        const fx::Fixed x2 = fx::Fixed::mul(fx_x, fx_x, fmt, t);
+        const fx::Fixed a = fx::Fixed::mul(x2, half, fmt, t);
+        const fx::Fixed b = fx::Fixed::mul(quarter, fx_x, fmt, t);
+        out.push_back(fx::Fixed::add(a, b, fmt, t).to_double());
+      }
+      return out;
+    };
+  }
+};
+
+TEST(PrecisionTest, FindsMinimalSatisfyingFormat) {
+  const Fixture f;
+  PrecisionRequirements req;
+  req.max_error_percent = 0.5;
+  req.min_total_bits = 6;
+  req.max_total_bits = 24;
+  req.int_bits = 0;
+  const PrecisionResult r = run_precision_test(f.kernel, f.ref, req);
+  ASSERT_TRUE(r.satisfied);
+  ASSERT_TRUE(r.choice.has_value());
+  EXPECT_TRUE(r.choice->report.within_percent(0.5));
+  // Minimality: every narrower sweep entry must violate the tolerance.
+  for (const auto& c : r.sweep) {
+    if (c.format.total_bits < r.choice->format.total_bits) {
+      EXPECT_FALSE(c.report.within_percent(0.5))
+          << c.format.total_bits << " bits unexpectedly satisfies";
+    }
+  }
+}
+
+TEST(PrecisionTest, TighterToleranceNeedsMoreBits) {
+  const Fixture f;
+  PrecisionRequirements loose{5.0, 6, 28, 0};
+  PrecisionRequirements tight{0.05, 6, 28, 0};
+  const auto rl = run_precision_test(f.kernel, f.ref, loose);
+  const auto rt = run_precision_test(f.kernel, f.ref, tight);
+  ASSERT_TRUE(rl.satisfied && rt.satisfied);
+  EXPECT_LT(rl.choice->format.total_bits, rt.choice->format.total_bits);
+}
+
+TEST(PrecisionTest, UnsatisfiedWhenWindowTooNarrow) {
+  const Fixture f;
+  PrecisionRequirements req{1e-8, 4, 10, 0};
+  const auto r = run_precision_test(f.kernel, f.ref, req);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_FALSE(r.choice.has_value());
+  EXPECT_FALSE(r.sweep.empty());  // the sweep is still reported
+}
+
+TEST(PrecisionTest, RejectsNonPositiveTolerance) {
+  const Fixture f;
+  EXPECT_THROW(
+      run_precision_test(f.kernel, f.ref, PrecisionRequirements{0.0}),
+      std::invalid_argument);
+}
+
+TEST(PrecisionResult, BytesPerElementRoundsToChannelWord) {
+  // The paper's 18-bit format travels over a 32-bit channel: 4 bytes.
+  PrecisionResult r;
+  r.choice = fx::PrecisionChoice{fx::Format{18, 17, true}, {}};
+  EXPECT_DOUBLE_EQ(r.bytes_per_element(4.0), 4.0);
+  r.choice->format.total_bits = 33;
+  EXPECT_DOUBLE_EQ(r.bytes_per_element(4.0), 8.0);
+  r.choice->format.total_bits = 8;
+  EXPECT_DOUBLE_EQ(r.bytes_per_element(2.0), 2.0);
+}
+
+TEST(PrecisionResult, BytesPerElementErrors) {
+  PrecisionResult none;
+  EXPECT_THROW(none.bytes_per_element(), std::logic_error);
+  PrecisionResult r;
+  r.choice = fx::PrecisionChoice{fx::Format{18, 17, true}, {}};
+  EXPECT_THROW(r.bytes_per_element(0.0), std::invalid_argument);
+}
+
+TEST(PrecisionResult, SweepTableHasOneRowPerWidth) {
+  const Fixture f;
+  PrecisionRequirements req{2.0, 8, 16, 0};
+  const auto r = run_precision_test(f.kernel, f.ref, req);
+  EXPECT_EQ(r.to_table().num_rows(), 9u);
+}
+
+}  // namespace
+}  // namespace rat::core

@@ -1,0 +1,94 @@
+#include "core/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "apps/md.hpp"
+#include "apps/pdf1d.hpp"
+#include "apps/pdf2d.hpp"
+#include "core/units.hpp"
+
+namespace rat::core {
+namespace {
+
+RankedCandidate candidate(const std::string& label, RatInputs in,
+                          std::vector<ResourceItem> items,
+                          rcsim::Device device, double clock = mhz(150)) {
+  RankedCandidate c;
+  c.label = label;
+  c.inputs = std::move(in);
+  c.fclock_hz = clock;
+  c.resources = std::move(items);
+  c.device = std::move(device);
+  return c;
+}
+
+std::vector<RankedCandidate> case_study_candidates() {
+  return {
+      candidate("1-D PDF @150", pdf1d_inputs(),
+                apps::Pdf1dDesign().resource_items(),
+                rcsim::virtex4_lx100()),
+      candidate("2-D PDF @150", pdf2d_inputs(),
+                apps::Pdf2dDesign().resource_items(),
+                rcsim::virtex4_lx100()),
+      candidate("MD @100", md_inputs(), apps::MdDesign().resource_items(),
+                rcsim::stratix2_ep2s180(), mhz(100)),
+  };
+}
+
+TEST(Ranking, OrdersBySpeedupAmongFeasible) {
+  const auto results = rank_designs(case_study_candidates());
+  ASSERT_EQ(results.size(), 3u);
+  // Predicted: MD 10.7, 1-D PDF 10.6, 2-D PDF 6.9 — all feasible.
+  EXPECT_EQ(results[0].label, "MD @100");
+  EXPECT_EQ(results[1].label, "1-D PDF @150");
+  EXPECT_EQ(results[2].label, "2-D PDF @150");
+  for (const auto& r : results) EXPECT_TRUE(r.feasible);
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_GE(results[i - 1].speedup, results[i].speedup);
+}
+
+TEST(Ranking, InfeasibleSinksBelowFeasible) {
+  auto candidates = case_study_candidates();
+  // An absurdly fast design that cannot fit: 200 MACs on the LX100.
+  RatInputs fast = pdf1d_inputs();
+  fast.comp.throughput_ops_per_cycle = 600.0;
+  candidates.push_back(candidate(
+      "oversized", fast, {ResourceItem{"MACs", 1, 18, 0, 100, 200}},
+      rcsim::virtex4_lx100()));
+  const auto results = rank_designs(candidates);
+  EXPECT_EQ(results.back().label, "oversized");
+  EXPECT_FALSE(results.back().feasible);
+  EXPECT_GT(results.back().speedup, results.front().speedup);
+}
+
+TEST(Ranking, DoubleBufferedFlagUsesDbSpeedup) {
+  RankedCandidate c = case_study_candidates()[0];
+  const auto sb = rank_designs({c})[0].speedup;
+  c.double_buffered = true;
+  const auto db = rank_designs({c})[0].speedup;
+  EXPECT_GT(db, sb);
+}
+
+TEST(Ranking, EmptyLabelFallsBackToWorksheetName) {
+  RankedCandidate c = case_study_candidates()[0];
+  c.label.clear();
+  const auto results = rank_designs({c});
+  EXPECT_EQ(results[0].label, "1-D PDF estimation");
+}
+
+TEST(Ranking, TableLayout) {
+  const auto t = ranking_table(rank_designs(case_study_candidates()));
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.cell(0, 0), "1");
+  EXPECT_EQ(t.cell(0, 1), "MD @100");
+  EXPECT_EQ(t.cell(0, 6), "yes");
+}
+
+TEST(Ranking, RejectsEmptyInput) {
+  EXPECT_THROW(rank_designs({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rat::core

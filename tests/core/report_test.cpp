@@ -1,0 +1,145 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "apps/pdf1d.hpp"
+#include "core/units.hpp"
+
+namespace rat::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+Report sample_report() {
+  Report r;
+  r.inputs = pdf1d_inputs();
+  Measured m;
+  m.fclock_hz = mhz(150);
+  m.t_comm_sec = 2.5e-5;
+  m.t_comp_sec = 1.39e-4;
+  m.t_rc_sec = 7.45e-2;
+  m.speedup = 7.8;
+  m.util_comm = 0.15;
+  m.util_comp = 0.85;
+  r.measurements.push_back(m);
+  r.finalize();
+  const auto device = rcsim::virtex4_lx100();
+  r.device = device;
+  r.resources = run_resource_test(apps::Pdf1dDesign().resource_items(),
+                                  device);
+  return r;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream f(p);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("rat_report_test_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(Report, FinalizePairsMeasurementsWithMatchingClock) {
+  const Report r = sample_report();
+  ASSERT_EQ(r.predictions.size(), 3u);
+  ASSERT_EQ(r.validations.size(), 1u);
+  // Paired against the 150 MHz prediction: comp error ~6%, not ~-30%.
+  EXPECT_NEAR(r.validations[0].comp_error_percent, 6.1, 1.0);
+}
+
+TEST(Report, FinalizePicksClosestClockForOffGridMeasurement) {
+  Report r;
+  r.inputs = md_inputs();
+  Measured m;
+  m.fclock_hz = mhz(110);  // closest candidate: 100
+  m.t_comm_sec = 1.39e-3;
+  m.t_comp_sec = 8.79e-1;
+  m.t_rc_sec = 8.80e-1;
+  m.speedup = 6.6;
+  r.measurements.push_back(m);
+  r.finalize();
+  ASSERT_EQ(r.validations.size(), 1u);
+  // Against 100 MHz: comp error ~+64%; against 150 it would be ~+145%.
+  EXPECT_NEAR(r.validations[0].comp_error_percent, 63.6, 2.0);
+}
+
+TEST(Report, MarkdownContainsAllSections) {
+  const std::string md = sample_report().to_markdown();
+  EXPECT_NE(md.find("# RAT analysis: 1-D PDF estimation"),
+            std::string::npos);
+  EXPECT_NE(md.find("## Input parameters"), std::string::npos);
+  EXPECT_NE(md.find("## Performance (single buffered)"), std::string::npos);
+  EXPECT_NE(md.find("## Performance (double buffered)"), std::string::npos);
+  EXPECT_NE(md.find("## Validation of measurement 1 (150 MHz)"),
+            std::string::npos);
+  EXPECT_NE(md.find("## Resource test (Xilinx Virtex-4 LX100)"),
+            std::string::npos);
+  EXPECT_NE(md.find("### Breakdown"), std::string::npos);
+  EXPECT_NE(md.find("vendor wrapper"), std::string::npos);
+  EXPECT_NE(md.find("5.56E-6"), std::string::npos);
+}
+
+TEST(Report, MethodologySectionWhenPresent) {
+  Report r = sample_report();
+  MethodologyOutcome mo;
+  mo.proceed = true;
+  mo.trace.push_back({0, "x", Step::kProceed, true, "ok"});
+  r.methodology = mo;
+  const std::string md = r.to_markdown();
+  EXPECT_NE(md.find("## Methodology trace"), std::string::npos);
+  EXPECT_NE(md.find("Outcome: PROCEED"), std::string::npos);
+}
+
+TEST(Report, WriteProducesMarkdownAndCsvs) {
+  const TempDir tmp;
+  const Report r = sample_report();
+  const fs::path md_path = r.write(tmp.path, "pdf1d");
+  EXPECT_TRUE(fs::exists(md_path));
+  EXPECT_TRUE(fs::exists(tmp.path / "pdf1d_predictions.csv"));
+  EXPECT_TRUE(fs::exists(tmp.path / "pdf1d_validation.csv"));
+  EXPECT_EQ(slurp(md_path), r.to_markdown());
+
+  const std::string csv = slurp(tmp.path / "pdf1d_predictions.csv");
+  // Header + one row per candidate clock.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+  EXPECT_NE(csv.find("fclock_mhz,"), std::string::npos);
+  EXPECT_NE(csv.find("75.000"), std::string::npos);
+  EXPECT_NE(csv.find("150.000"), std::string::npos);
+}
+
+TEST(Report, NoValidationCsvWithoutMeasurements) {
+  const TempDir tmp;
+  Report r;
+  r.inputs = pdf2d_inputs();
+  r.finalize();
+  r.write(tmp.path, "pdf2d");
+  EXPECT_TRUE(fs::exists(tmp.path / "pdf2d_predictions.csv"));
+  EXPECT_FALSE(fs::exists(tmp.path / "pdf2d_validation.csv"));
+}
+
+TEST(Report, WriteValidation) {
+  const TempDir tmp;
+  const Report r = sample_report();
+  EXPECT_THROW(r.write(tmp.path, ""), std::invalid_argument);
+}
+
+TEST(Report, PredictionsCsvRoundsSensibly) {
+  const auto preds = predict_all(pdf1d_inputs());
+  const std::string csv = predictions_csv(preds);
+  EXPECT_NE(csv.find("5.56014E-6"), std::string::npos);  // 6 sig figs
+}
+
+}  // namespace
+}  // namespace rat::core

@@ -1,0 +1,91 @@
+#include "core/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rat::core {
+namespace {
+
+TEST(ResourceTest, LowersMultipliersThroughVendorModel) {
+  const auto device = rcsim::virtex4_lx100();
+  // 8 x 18-bit multipliers -> 8 DSP48s; 8 x 32-bit -> 16 DSP48s.
+  const auto r18 = run_resource_test(
+      {ResourceItem{"mac18", 1, 18, 0, 0, 8}}, device);
+  EXPECT_EQ(r18.usage.dsp, 8);
+  const auto r32 = run_resource_test(
+      {ResourceItem{"mac32", 1, 32, 0, 0, 8}}, device);
+  EXPECT_EQ(r32.usage.dsp, 16);
+}
+
+TEST(ResourceTest, BuffersLowerToBramBlocks) {
+  const auto device = rcsim::virtex4_lx100();
+  const auto r = run_resource_test(
+      {ResourceItem{"buf", 0, 18, 4 * 2304, 0, 1}}, device);
+  EXPECT_EQ(r.usage.bram, 4);
+}
+
+TEST(ResourceTest, InstancesMultiplyEverything) {
+  const auto device = rcsim::virtex4_lx100();
+  const auto r = run_resource_test(
+      {ResourceItem{"lane", 2, 18, 2304, 100, 3}}, device);
+  EXPECT_EQ(r.usage.dsp, 6);
+  EXPECT_EQ(r.usage.bram, 3);
+  EXPECT_EQ(r.usage.logic, 300);
+  ASSERT_EQ(r.breakdown.size(), 1u);
+  EXPECT_EQ(r.breakdown[0].usage.dsp, 6);
+}
+
+TEST(ResourceTest, FeasibilityAgainstInventory) {
+  const auto device = rcsim::virtex4_lx100();
+  const auto fits = run_resource_test(
+      {ResourceItem{"ok", 1, 18, 0, 100, 96}}, device);
+  EXPECT_TRUE(fits.feasible);
+  const auto overflow = run_resource_test(
+      {ResourceItem{"too many", 1, 18, 0, 0, 97}}, device);
+  EXPECT_FALSE(overflow.feasible);
+}
+
+TEST(ResourceTest, LogicFillLimitApplies) {
+  const auto device = rcsim::virtex4_lx100();
+  const auto tight = run_resource_test(
+      {ResourceItem{"logic", 0, 18, 0, 47000, 1}}, device, 0.9);
+  EXPECT_FALSE(tight.feasible);  // 47000/49152 > 0.9
+  const auto relaxed = run_resource_test(
+      {ResourceItem{"logic", 0, 18, 0, 47000, 1}}, device, 0.99);
+  EXPECT_TRUE(relaxed.feasible);
+}
+
+TEST(ResourceTest, RejectsNonPositiveInstances) {
+  const auto device = rcsim::virtex4_lx100();
+  EXPECT_THROW(
+      run_resource_test({ResourceItem{"bad", 1, 18, 0, 0, 0}}, device),
+      std::invalid_argument);
+}
+
+TEST(ResourceTest, TableUsesDeviceUnitNames) {
+  const auto v4 = rcsim::virtex4_lx100();
+  const auto r = run_resource_test({ResourceItem{"m", 1, 18, 2304, 50, 4}},
+                                   v4);
+  const auto t = r.to_table(v4);
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.cell(0, 0), "DSP48s");
+  EXPECT_EQ(t.cell(1, 0), "BRAM18s");
+  EXPECT_EQ(t.cell(2, 0), "slices");
+  EXPECT_EQ(t.cell(0, 1), "4%");  // 4/96
+
+  const auto s2 = rcsim::stratix2_ep2s180();
+  const auto r2 = run_resource_test({ResourceItem{"m", 1, 36, 0, 0, 1}}, s2);
+  const auto t2 = r2.to_table(s2);
+  EXPECT_EQ(t2.cell(0, 0), "9-bit DSPs");
+  EXPECT_EQ(t2.cell(2, 0), "ALUTs");
+}
+
+TEST(ResourceTest, EmptyDesignIsFreeAndFeasible) {
+  const auto r = run_resource_test({}, rcsim::virtex4_lx100());
+  EXPECT_EQ(r.usage, (rcsim::ResourceUsage{0, 0, 0}));
+  EXPECT_TRUE(r.feasible);
+}
+
+}  // namespace
+}  // namespace rat::core

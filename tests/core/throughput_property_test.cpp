@@ -1,0 +1,108 @@
+// Algebraic identities of Equations (1)-(11) over randomized worksheets:
+// whatever the inputs, the derived quantities must satisfy the relations
+// the equations define. Complements the exact-value tests against the
+// paper's tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/throughput.hpp"
+#include "util/rng.hpp"
+
+namespace rat::core {
+namespace {
+
+RatInputs random_inputs(std::uint64_t seed) {
+  util::Rng rng(seed);
+  RatInputs in;
+  in.name = "prop-" + std::to_string(seed);
+  in.dataset.elements_in = 1 + rng.uniform_index(1u << 18);
+  in.dataset.elements_out = rng.uniform_index(1u << 18);
+  in.dataset.bytes_per_element = rng.uniform(1.0, 64.0);
+  in.comm.ideal_bw_bytes_per_sec = rng.uniform(1e7, 1e10);
+  in.comm.alpha_write = rng.uniform(0.01, 1.0);
+  in.comm.alpha_read = rng.uniform(0.01, 1.0);
+  in.comp.ops_per_element = rng.uniform(1.0, 1e6);
+  in.comp.throughput_ops_per_cycle = rng.uniform(0.1, 500.0);
+  in.comp.fclock_hz = {rng.uniform(1e7, 5e8)};
+  in.software.tsoft_sec = rng.uniform(1e-3, 1e4);
+  in.software.n_iterations = 1 + rng.uniform_index(1u << 12);
+  return in;
+}
+
+class ThroughputIdentities : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ThroughputIdentities, EquationsSelfConsistent) {
+  const RatInputs in = random_inputs(GetParam());
+  const double f = in.comp.fclock_hz[0];
+  const ThroughputPrediction p = predict(in, f);
+  const double n = static_cast<double>(in.software.n_iterations);
+
+  // Eq. (1): comm decomposes into the two directions.
+  EXPECT_NEAR(p.t_comm_sec, p.t_write_sec + p.t_read_sec,
+              1e-12 * p.t_comm_sec);
+  // Eqs. (2)/(3) re-derived.
+  EXPECT_NEAR(p.t_write_sec,
+              static_cast<double>(in.dataset.elements_in) *
+                  in.dataset.bytes_per_element /
+                  (in.comm.alpha_write * in.comm.ideal_bw_bytes_per_sec),
+              1e-12 * (p.t_write_sec + 1e-300));
+  // Eq. (5)/(6): totals from per-iteration terms.
+  EXPECT_NEAR(p.t_rc_sb_sec, n * (p.t_comm_sec + p.t_comp_sec),
+              1e-9 * p.t_rc_sb_sec);
+  EXPECT_NEAR(p.t_rc_db_sec, n * std::max(p.t_comm_sec, p.t_comp_sec),
+              1e-9 * p.t_rc_db_sec);
+  // Eq. (7): speedups invert the totals.
+  EXPECT_NEAR(p.speedup_sb * p.t_rc_sb_sec, in.software.tsoft_sec,
+              1e-9 * in.software.tsoft_sec);
+  EXPECT_NEAR(p.speedup_db * p.t_rc_db_sec, in.software.tsoft_sec,
+              1e-9 * in.software.tsoft_sec);
+  // Eqs. (8)-(11): utilization structure.
+  EXPECT_NEAR(p.util_comm_sb + p.util_comp_sb, 1.0, 1e-12);
+  EXPECT_NEAR(std::max(p.util_comm_db, p.util_comp_db), 1.0, 1e-12);
+  EXPECT_NEAR(p.util_comm_db / p.util_comp_db,
+              p.t_comm_sec / p.t_comp_sec,
+              1e-9 * (p.t_comm_sec / p.t_comp_sec));
+  // DB dominates SB; both positive.
+  EXPECT_GE(p.speedup_db, p.speedup_sb - 1e-15);
+  EXPECT_GT(p.speedup_sb, 0.0);
+  // communication_bound() agrees with the raw comparison.
+  EXPECT_EQ(p.communication_bound(), p.t_comm_sec > p.t_comp_sec);
+}
+
+TEST_P(ThroughputIdentities, ScalingLaws) {
+  const RatInputs base = random_inputs(GetParam() ^ 0xF00D);
+  const double f = base.comp.fclock_hz[0];
+  const auto p0 = predict(base, f);
+
+  // Doubling Niter doubles totals, leaves per-iteration terms alone.
+  RatInputs doubled = base;
+  doubled.software.n_iterations *= 2;
+  const auto p2 = predict(doubled, f);
+  EXPECT_NEAR(p2.t_rc_sb_sec, 2.0 * p0.t_rc_sb_sec, 1e-9 * p2.t_rc_sb_sec);
+  EXPECT_DOUBLE_EQ(p2.t_comm_sec, p0.t_comm_sec);
+
+  // Doubling the clock halves only computation.
+  const auto pf = predict(base, 2.0 * f);
+  EXPECT_NEAR(pf.t_comp_sec, 0.5 * p0.t_comp_sec, 1e-12 * p0.t_comp_sec);
+  EXPECT_DOUBLE_EQ(pf.t_comm_sec, p0.t_comm_sec);
+
+  // Doubling both alphas halves communication.
+  RatInputs fast_bus = base;
+  fast_bus.comm.alpha_write = std::min(1.0, base.comm.alpha_write * 2.0);
+  fast_bus.comm.alpha_read = std::min(1.0, base.comm.alpha_read * 2.0);
+  if (fast_bus.comm.alpha_write == base.comm.alpha_write * 2.0 &&
+      fast_bus.comm.alpha_read == base.comm.alpha_read * 2.0) {
+    const auto pb = predict(fast_bus, f);
+    EXPECT_NEAR(pb.t_comm_sec, 0.5 * p0.t_comm_sec,
+                1e-12 * p0.t_comm_sec);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThroughputIdentities,
+                         ::testing::Range<std::uint64_t>(2000, 2050));
+
+}  // namespace
+}  // namespace rat::core

@@ -1,0 +1,85 @@
+#include "core/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/units.hpp"
+
+namespace rat::core {
+namespace {
+
+Measured table3_actual() {
+  Measured m;
+  m.fclock_hz = mhz(150);
+  m.t_comm_sec = 2.5e-5;
+  m.t_comp_sec = 1.39e-4;
+  m.t_rc_sec = 7.45e-2;
+  m.speedup = 7.8;
+  m.util_comm = 0.15;
+  m.util_comp = 0.85;
+  return m;
+}
+
+TEST(MeasuredFromTotals, DividesByIterations) {
+  const Measured m =
+      measured_from_totals(mhz(150), 1e-2, 5.56e-2, 7.45e-2, 400, 0.578);
+  EXPECT_NEAR(m.t_comm_sec, 2.5e-5, 1e-12);
+  EXPECT_NEAR(m.t_comp_sec, 1.39e-4, 1e-12);
+  EXPECT_NEAR(m.speedup, 0.578 / 7.45e-2, 1e-9);
+  EXPECT_NEAR(m.util_comm + m.util_comp, 1.0, 1e-12);
+}
+
+TEST(MeasuredFromTotals, Validation) {
+  EXPECT_THROW(measured_from_totals(1.0, 1.0, 1.0, 1.0, 0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(measured_from_totals(1.0, 1.0, 1.0, 0.0, 1, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Validate, Table3ErrorStructure) {
+  const auto pred = predict(pdf1d_inputs(), mhz(150));
+  const auto rep = validate(pred, table3_actual());
+  // Communication under-predicted ~4.5x; computation within ~6%.
+  EXPECT_GT(rep.comm_error_percent, 200.0);
+  EXPECT_LT(rep.comm_error_percent, 500.0);
+  EXPECT_NEAR(rep.comp_error_percent, 6.1, 1.0);
+  EXPECT_LT(rep.speedup_error_percent, 0.0);  // speedup over-predicted
+  EXPECT_TRUE(rep.comp_same_order);
+  EXPECT_TRUE(rep.speedup_same_order);
+}
+
+TEST(Validate, SameOrderFlagsUseFactorTen) {
+  const auto pred = predict(pdf1d_inputs(), mhz(150));
+  auto actual = table3_actual();
+  const auto rep = validate(pred, actual);
+  EXPECT_TRUE(rep.comm_same_order);  // 4.5x < 10x
+  actual.t_comm_sec = pred.t_comm_sec * 11.0;
+  EXPECT_FALSE(validate(pred, actual).comm_same_order);
+}
+
+TEST(Validate, WithinOrderOfMagnitudeOverall) {
+  const auto pred = predict(md_inputs(), mhz(100));
+  Measured actual;
+  actual.fclock_hz = mhz(100);
+  actual.t_comm_sec = 1.39e-3;
+  actual.t_comp_sec = 8.79e-1;
+  actual.t_rc_sec = 8.80e-1;
+  actual.speedup = 6.6;
+  const auto rep = validate(pred, actual);
+  EXPECT_TRUE(rep.within_order_of_magnitude());
+  EXPECT_NEAR(rep.comm_error_percent, -47.0, 2.0);
+  EXPECT_NEAR(rep.comp_error_percent, 63.6, 2.0);
+}
+
+TEST(Validate, TableRendering) {
+  const auto pred = predict(pdf1d_inputs(), mhz(150));
+  const auto rep = validate(pred, table3_actual());
+  const auto t = rep.to_table();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.cell(0, 0), "tcomm");
+  EXPECT_EQ(t.cell(0, 2), "yes");
+}
+
+}  // namespace
+}  // namespace rat::core

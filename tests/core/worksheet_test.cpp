@@ -1,0 +1,70 @@
+#include "core/worksheet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/units.hpp"
+
+namespace rat::core {
+namespace {
+
+TEST(Worksheet, PerformanceTableLayoutMatchesTable3) {
+  const auto preds = predict_all(pdf1d_inputs());
+  Measured actual;
+  actual.fclock_hz = mhz(150);
+  actual.t_comm_sec = 2.5e-5;
+  actual.t_comp_sec = 1.39e-4;
+  actual.t_rc_sec = 7.45e-2;
+  actual.speedup = 7.8;
+  actual.util_comm = 0.15;
+  actual.util_comp = 0.85;
+
+  const auto t = performance_table(preds, {actual},
+                                   WorksheetMode::kSingleBuffered);
+  EXPECT_EQ(t.num_columns(), 5u);  // label + 3 predicted + 1 actual
+  EXPECT_EQ(t.num_rows(), 7u);
+
+  // Row 0: clocks.
+  EXPECT_EQ(t.cell(0, 1), "75");
+  EXPECT_EQ(t.cell(0, 3), "150");
+  EXPECT_EQ(t.cell(0, 4), "150");
+  // Row 1: tcomm; row 2: tcomp.
+  EXPECT_EQ(t.cell(1, 1), "5.56E-6");
+  EXPECT_EQ(t.cell(1, 4), "2.50E-5");
+  EXPECT_EQ(t.cell(2, 3), "1.31E-4");
+  EXPECT_EQ(t.cell(2, 4), "1.39E-4");
+  // Row 5: tRC; row 6: speedup.
+  EXPECT_EQ(t.cell(5, 1), "1.07E-1");
+  EXPECT_EQ(t.cell(5, 4), "7.45E-2");
+  EXPECT_EQ(t.cell(6, 3), "10.6");
+  EXPECT_EQ(t.cell(6, 4), "7.8");
+}
+
+TEST(Worksheet, DoubleBufferedModeUsesDbRows) {
+  const auto preds = predict_all(pdf1d_inputs());
+  const auto t =
+      performance_table(preds, {}, WorksheetMode::kDoubleBuffered);
+  EXPECT_EQ(t.cell(3, 0), "utilcomm_DB");
+  EXPECT_EQ(t.cell(5, 0), "tRC_DB (sec)");
+  // DB tRC at 150 MHz: 400 * max(5.56e-6, 1.31e-4) = 5.24e-2.
+  EXPECT_EQ(t.cell(5, 3), "5.24E-2");
+}
+
+TEST(Worksheet, RenderIncludesInputAndPerformanceSections) {
+  const std::string s = render_worksheet(pdf1d_inputs(), {},
+                                         WorksheetMode::kSingleBuffered);
+  EXPECT_NE(s.find("RAT worksheet: 1-D PDF estimation"), std::string::npos);
+  EXPECT_NE(s.find("Input parameters"), std::string::npos);
+  EXPECT_NE(s.find("Performance parameters (single buffered)"),
+            std::string::npos);
+  EXPECT_NE(s.find("5.56E-6"), std::string::npos);
+  EXPECT_NE(s.find("10.6"), std::string::npos);
+}
+
+TEST(Worksheet, NoActualColumnsWhenNoMeasurements) {
+  const auto preds = predict_all(md_inputs());
+  const auto t = performance_table(preds, {}, WorksheetMode::kSingleBuffered);
+  EXPECT_EQ(t.num_columns(), 4u);  // label + 3 predicted
+}
+
+}  // namespace
+}  // namespace rat::core

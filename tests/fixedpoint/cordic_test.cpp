@@ -1,0 +1,103 @@
+#include "fixedpoint/cordic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rat::fx {
+namespace {
+
+TEST(Cordic, ConstructionValidation) {
+  EXPECT_THROW(Cordic(Format{18, 17, true}, 14), std::invalid_argument);
+  EXPECT_THROW(Cordic(Format{18, 15, true}, 0), std::invalid_argument);
+  EXPECT_THROW(Cordic(Format{18, 15, true}, 49), std::invalid_argument);
+  EXPECT_NO_THROW(Cordic(Format{18, 15, true}, 14));
+}
+
+TEST(Cordic, GainMatchesTheoretical) {
+  const Cordic c(Format{24, 20, true}, 16);
+  double k = 1.0;
+  for (int i = 0; i < 16; ++i) k *= std::sqrt(1.0 + std::ldexp(1.0, -2 * i));
+  EXPECT_NEAR(c.gain(), k, 1e-12);
+  EXPECT_NEAR(c.gain(), 1.64676, 1e-4);  // the classic CORDIC constant
+}
+
+TEST(Cordic, RotationComputesSinCos) {
+  const Cordic c(Format{24, 20, true}, 18);
+  for (double deg : {-89.0, -60.0, -30.0, -5.0, 0.0, 10.0, 45.0, 77.0,
+                     90.0}) {
+    const double rad = deg * M_PI / 180.0;
+    const auto r = c.rotate(rad);
+    EXPECT_NEAR(r.x, std::cos(rad), 2e-4) << deg;
+    EXPECT_NEAR(r.y, std::sin(rad), 2e-4) << deg;
+  }
+  EXPECT_THROW(c.rotate(2.0), std::invalid_argument);
+}
+
+TEST(Cordic, PrecisionImprovesWithIterations) {
+  const double rad = 0.6;
+  double prev = 1.0;
+  for (int iters : {6, 10, 14, 18}) {
+    const Cordic c(Format{32, 27, true}, iters);
+    const auto r = c.rotate(rad);
+    const double err = std::fabs(r.y - std::sin(rad));
+    EXPECT_LT(err, prev) << iters;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-5);
+}
+
+TEST(Cordic, VectoringRecoversMagnitudeAndAngle) {
+  const Cordic c(Format{24, 20, true}, 18);
+  for (double x : {0.3, 0.7, 1.0}) {
+    for (double y : {-0.8, -0.2, 0.0, 0.4, 0.9}) {
+      const auto r = c.vector(x, y);
+      EXPECT_NEAR(r.x, std::hypot(x, y), 3e-4) << x << "," << y;
+      EXPECT_NEAR(r.z, std::atan2(y, x), 3e-4) << x << "," << y;
+      EXPECT_NEAR(r.y, 0.0, 2e-4);  // driven to zero
+    }
+  }
+  EXPECT_THROW(c.vector(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(c.vector(-0.5, 0.1), std::invalid_argument);
+}
+
+TEST(Cordic, VectoringRejectsInputsBeyondGainHeadroom) {
+  const Cordic c(Format{18, 15, true}, 14);  // max ~4, headroom ~2.4
+  EXPECT_NO_THROW(c.vector(2.0, 0.5));
+  EXPECT_THROW(c.vector(3.0, 0.0), std::invalid_argument);
+}
+
+TEST(Cordic, MagnitudeAcceptsAllQuadrantsAndZero) {
+  const Cordic c(Format{24, 20, true}, 18);
+  EXPECT_NEAR(c.magnitude(-0.6, 0.8), 1.0, 3e-4);
+  EXPECT_NEAR(c.magnitude(0.6, -0.8), 1.0, 3e-4);
+  EXPECT_NEAR(c.magnitude(-0.6, -0.8), 1.0, 3e-4);
+  EXPECT_NEAR(c.magnitude(0.0, 0.5), 0.5, 3e-4);
+  EXPECT_DOUBLE_EQ(c.magnitude(0.0, 0.0), 0.0);
+}
+
+TEST(Cordic, MagnitudeSweepAgainstHypot) {
+  const Cordic c(Format{28, 23, true}, 22);
+  util::Rng rng(5);
+  for (int k = 0; k < 500; ++k) {
+    const double a = rng.uniform(-1.2, 1.2);
+    const double b = rng.uniform(-1.2, 1.2);
+    EXPECT_NEAR(c.magnitude(a, b), std::hypot(a, b),
+                5e-5 + 1e-4 * std::hypot(a, b))
+        << a << "," << b;
+  }
+}
+
+TEST(Cordic, IterationsAreTheOpCountKnob) {
+  // §3.1's operation-scope discussion: a 14-iteration CORDIC is "one
+  // operation" at 1/14 ops/cycle, or "14 operations" at 1 op/cycle —
+  // either way the cycle count is the iterations.
+  const Cordic c(Format{18, 15, true}, 14);
+  EXPECT_EQ(c.iterations(), 14);
+}
+
+}  // namespace
+}  // namespace rat::fx

@@ -1,0 +1,148 @@
+#include "fixedpoint/error_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rat::fx {
+namespace {
+
+std::vector<double> unit_samples(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.uniform(-0.999, 0.999);
+  return xs;
+}
+
+TEST(Compare, ZeroErrorForIdenticalSequences) {
+  const std::vector<double> a{0.1, 0.5, -0.3};
+  const ErrorReport r = compare(a, a);
+  EXPECT_DOUBLE_EQ(r.max_abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(r.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(r.max_error_percent, 0.0);
+  EXPECT_TRUE(r.within_percent(0.001));
+}
+
+TEST(Compare, NormalizesByLargestReferenceMagnitude) {
+  const std::vector<double> ref{10.0, 0.0};
+  const std::vector<double> act{10.0, 0.2};
+  const ErrorReport r = compare(ref, act);
+  // Error 0.2 against scale 10 -> 2%, not infinity against the zero entry.
+  EXPECT_NEAR(r.max_error_percent, 2.0, 1e-12);
+}
+
+TEST(Compare, RejectsMismatch) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(compare(a, b), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW(compare(empty, empty), std::invalid_argument);
+}
+
+TEST(RepresentationError, ShrinksWithWidth) {
+  const auto xs = unit_samples(500, 42);
+  double prev = 1e9;
+  for (int bits : {8, 12, 16, 20, 24}) {
+    const Format f{bits, bits - 1, true};
+    const ErrorReport r = representation_error(xs, f);
+    EXPECT_LT(r.max_abs_error, prev);
+    EXPECT_LE(r.max_abs_error, 0.5 * f.resolution() + 1e-15);
+    prev = r.max_abs_error;
+  }
+}
+
+TEST(RequiredIntBits, KnownRanges) {
+  const std::vector<double> sub_unit{0.1, -0.5, 0.9};
+  EXPECT_EQ(required_int_bits(sub_unit), 0);
+  const std::vector<double> small{3.0, -2.0};
+  EXPECT_EQ(required_int_bits(small), 2);  // need 2^2 = 4 > 3
+  const std::vector<double> big{100.0};
+  EXPECT_EQ(required_int_bits(big), 7);  // 2^7 = 128 > 100
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_EQ(required_int_bits(zero), 0);
+  const std::vector<double> tiny{0.01};
+  EXPECT_EQ(required_int_bits(tiny), -6);  // 2^-6 ~ 0.0156 > 0.01
+  EXPECT_THROW(required_int_bits(std::vector<double>{}),
+               std::invalid_argument);
+}
+
+/// A simple end-to-end kernel: y_i = x_i^2 computed in fixed point.
+FixedKernel square_kernel(const std::vector<double>& xs) {
+  return [xs](Format fmt) {
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (double x : xs) {
+      const Fixed fx = Fixed::from_double(x, fmt);
+      out.push_back(Fixed::mul(fx, fx, fmt, Rounding::kTruncate).to_double());
+    }
+    return out;
+  };
+}
+
+TEST(SearchMinTotalBits, FindsMinimalWidth) {
+  const auto xs = unit_samples(300, 7);
+  std::vector<double> ref;
+  for (double x : xs) ref.push_back(x * x);
+  const auto kernel = square_kernel(xs);
+
+  const auto loose =
+      search_min_total_bits(kernel, ref, /*tol%=*/1.0, 4, 32, 0);
+  ASSERT_TRUE(loose.has_value());
+  const auto tight =
+      search_min_total_bits(kernel, ref, /*tol%=*/0.01, 4, 32, 0);
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_LT(loose->format.total_bits, tight->format.total_bits);
+  EXPECT_TRUE(loose->report.within_percent(1.0));
+  EXPECT_TRUE(tight->report.within_percent(0.01));
+
+  // Minimality: one bit fewer must violate the tolerance.
+  const Format fewer{loose->format.total_bits - 1,
+                     loose->format.total_bits - 2, true};
+  const auto rep = compare(ref, kernel(fewer));
+  EXPECT_FALSE(rep.within_percent(1.0));
+}
+
+TEST(SearchMinTotalBits, NulloptWhenImpossible) {
+  const auto xs = unit_samples(100, 9);
+  std::vector<double> ref;
+  for (double x : xs) ref.push_back(x * x);
+  const auto r = search_min_total_bits(square_kernel(xs), ref,
+                                       /*tol%=*/1e-9, 4, 8, 0);
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(SearchMinTotalBits, RejectsBadWindow) {
+  const std::vector<double> ref{1.0};
+  EXPECT_THROW(
+      search_min_total_bits([](Format) { return std::vector<double>{1.0}; },
+                            ref, 1.0, 10, 5, 0),
+      std::invalid_argument);
+}
+
+TEST(SweepTotalBits, MonotoneNonIncreasingError) {
+  const auto xs = unit_samples(400, 11);
+  std::vector<double> ref;
+  for (double x : xs) ref.push_back(x * x);
+  const auto sweep = sweep_total_bits(square_kernel(xs), ref, 6, 24, 0);
+  ASSERT_GT(sweep.size(), 10u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].report.max_abs_error,
+              sweep[i - 1].report.max_abs_error * 1.05)
+        << "error should not grow with width (bits="
+        << sweep[i].format.total_bits << ")";
+  }
+}
+
+TEST(SweepTotalBits, FormatsHaveRequestedIntBits) {
+  const std::vector<double> ref{0.5};
+  const auto sweep = sweep_total_bits(
+      [](Format) { return std::vector<double>{0.5}; }, ref, 8, 12, 2);
+  for (const auto& c : sweep) EXPECT_EQ(c.format.int_bits(), 2);
+}
+
+}  // namespace
+}  // namespace rat::fx

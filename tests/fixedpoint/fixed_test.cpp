@@ -1,0 +1,257 @@
+#include "fixedpoint/fixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rat::fx {
+namespace {
+
+TEST(Format, Basics) {
+  const Format f{18, 17, true};
+  EXPECT_EQ(f.int_bits(), 0);
+  EXPECT_DOUBLE_EQ(f.resolution(), std::ldexp(1.0, -17));
+  EXPECT_EQ(f.raw_max(), (1 << 17) - 1);
+  EXPECT_EQ(f.raw_min(), -(1 << 17));
+  EXPECT_NEAR(f.max_value(), 1.0 - std::ldexp(1.0, -17), 1e-15);
+  EXPECT_DOUBLE_EQ(f.min_value(), -1.0);
+  EXPECT_EQ(f.to_string(), "Q0.17 (s18)");
+}
+
+TEST(Format, Unsigned) {
+  const Format f{8, 8, false};
+  EXPECT_EQ(f.raw_min(), 0);
+  EXPECT_EQ(f.raw_max(), 255);
+  EXPECT_DOUBLE_EQ(f.min_value(), 0.0);
+  EXPECT_NEAR(f.max_value(), 255.0 / 256.0, 1e-15);
+}
+
+TEST(Format, ValidateRejectsBadFields) {
+  EXPECT_THROW((Format{1, 0, true}).validate(), std::invalid_argument);
+  EXPECT_THROW((Format{64, 0, true}).validate(), std::invalid_argument);
+  EXPECT_THROW((Format{16, -1, true}).validate(), std::invalid_argument);
+  EXPECT_THROW((Format{16, 17, true}).validate(), std::invalid_argument);
+  EXPECT_NO_THROW((Format{2, 0, true}).validate());
+  EXPECT_NO_THROW((Format{63, 63, true}).validate());
+}
+
+TEST(Fixed, RoundTripExactValues) {
+  const Format f{18, 17, true};
+  for (double v : {0.0, 0.5, 0.25, -0.5, -1.0, 0.999992370605468750}) {
+    const Fixed x = Fixed::from_double(v, f);
+    EXPECT_DOUBLE_EQ(x.to_double(), v) << v;
+  }
+}
+
+TEST(Fixed, QuantizationErrorBoundedByHalfLsb) {
+  const Format f{12, 11, true};
+  const double lsb = f.resolution();
+  for (int i = 0; i < 1000; ++i) {
+    const double v = -0.99 + 1.98 * i / 999.0;
+    EXPECT_LE(quantization_error(v, f), 0.5 * lsb + 1e-15) << v;
+  }
+}
+
+TEST(Fixed, SaturationAtBounds) {
+  const Format f{8, 7, true};
+  EXPECT_DOUBLE_EQ(Fixed::from_double(5.0, f).to_double(), f.max_value());
+  EXPECT_DOUBLE_EQ(Fixed::from_double(-5.0, f).to_double(), -1.0);
+  EXPECT_DOUBLE_EQ(Fixed::from_double(1e300, f).to_double(), f.max_value());
+  EXPECT_DOUBLE_EQ(Fixed::from_double(-1e300, f).to_double(), -1.0);
+}
+
+TEST(Fixed, ThrowOverflowPolicy) {
+  const Format f{8, 7, true};
+  EXPECT_THROW(Fixed::from_double(2.0, f, Rounding::kNearest,
+                                  Overflow::kThrow),
+               std::overflow_error);
+  EXPECT_NO_THROW(
+      Fixed::from_double(0.5, f, Rounding::kNearest, Overflow::kThrow));
+}
+
+TEST(Fixed, WrapOverflowPolicy) {
+  const Format f{8, 0, true};  // integers in [-128, 127]
+  const Fixed x =
+      Fixed::from_double(130.0, f, Rounding::kNearest, Overflow::kWrap);
+  EXPECT_DOUBLE_EQ(x.to_double(), -126.0);  // two's-complement wrap
+  const Fixed y =
+      Fixed::from_double(-130.0, f, Rounding::kNearest, Overflow::kWrap);
+  EXPECT_DOUBLE_EQ(y.to_double(), 126.0);
+}
+
+TEST(Fixed, FromRawValidatesRange) {
+  const Format f{8, 7, true};
+  EXPECT_NO_THROW(Fixed::from_raw(127, f));
+  EXPECT_NO_THROW(Fixed::from_raw(-128, f));
+  EXPECT_THROW(Fixed::from_raw(128, f), std::out_of_range);
+  EXPECT_THROW(Fixed::from_raw(-129, f), std::out_of_range);
+}
+
+TEST(Fixed, NaNRejected) {
+  const Format f{18, 17, true};
+  EXPECT_THROW(Fixed::from_double(std::nan(""), f), std::invalid_argument);
+}
+
+TEST(Fixed, AddSubExactWhenInRange) {
+  const Format f{18, 12, true};
+  const Fixed a = Fixed::from_double(3.5, f);
+  const Fixed b = Fixed::from_double(1.25, f);
+  EXPECT_DOUBLE_EQ(Fixed::add(a, b, f).to_double(), 4.75);
+  EXPECT_DOUBLE_EQ(Fixed::sub(a, b, f).to_double(), 2.25);
+  EXPECT_DOUBLE_EQ(Fixed::sub(b, a, f).to_double(), -2.25);
+}
+
+TEST(Fixed, AddMixedFormatsAlignsBinaryPoint) {
+  const Format fa{18, 10, true};
+  const Format fb{18, 14, true};
+  const Format out{20, 12, true};
+  const Fixed a = Fixed::from_double(1.5, fa);
+  const Fixed b = Fixed::from_double(0.0625, fb);
+  EXPECT_DOUBLE_EQ(Fixed::add(a, b, out).to_double(), 1.5625);
+}
+
+TEST(Fixed, MulExactForRepresentableProducts) {
+  const Format f{18, 12, true};
+  const Fixed a = Fixed::from_double(1.5, f);
+  const Fixed b = Fixed::from_double(-2.25, f);
+  EXPECT_DOUBLE_EQ(Fixed::mul(a, b, f).to_double(), -3.375);
+}
+
+TEST(Fixed, MulTruncationBiasIsNegativeForPositiveProducts) {
+  // Truncation always rounds toward -inf: fixed result <= exact product.
+  const Format f{12, 11, true};
+  for (int i = 1; i < 100; ++i) {
+    const double v = i / 101.0;
+    const Fixed x = Fixed::from_double(v, f);
+    const Fixed p = Fixed::mul(x, x, f, Rounding::kTruncate);
+    EXPECT_LE(p.to_double(), x.to_double() * x.to_double() + 1e-15);
+  }
+}
+
+TEST(Fixed, MulSaturatesOnOverflow) {
+  const Format f{8, 4, true};  // range [-8, 7.9375]
+  const Fixed a = Fixed::from_double(7.0, f);
+  EXPECT_DOUBLE_EQ(Fixed::mul(a, a, f).to_double(), f.max_value());
+}
+
+TEST(Fixed, DivExactForRepresentableQuotients) {
+  const Format f{18, 12, true};
+  const Fixed a = Fixed::from_double(3.375, f);
+  const Fixed b = Fixed::from_double(1.5, f);
+  EXPECT_DOUBLE_EQ(Fixed::div(a, b, f).to_double(), 2.25);
+  EXPECT_DOUBLE_EQ(Fixed::div(b, a, f).to_double(),
+                   Fixed::from_double(1.5 / 3.375, f).to_double());
+}
+
+TEST(Fixed, DivSignsAndRounding) {
+  const Format f{20, 10, true};
+  const Fixed a = Fixed::from_double(-7.0, f);
+  const Fixed b = Fixed::from_double(2.0, f);
+  EXPECT_DOUBLE_EQ(Fixed::div(a, b, f).to_double(), -3.5);
+  const Fixed c = Fixed::from_double(-7.0, f);
+  const Fixed d = Fixed::from_double(-2.0, f);
+  EXPECT_DOUBLE_EQ(Fixed::div(c, d, f).to_double(), 3.5);
+}
+
+TEST(Fixed, DivByZeroThrows) {
+  const Format f{18, 12, true};
+  const Fixed a = Fixed::from_double(1.0, f);
+  const Fixed zero(f);
+  EXPECT_THROW(Fixed::div(a, zero, f), std::domain_error);
+}
+
+TEST(Fixed, DivSaturatesOnOverflow) {
+  const Format f{8, 4, true};  // range [-8, 7.9375]
+  const Fixed a = Fixed::from_double(7.0, f);
+  const Fixed tiny = Fixed::from_double(0.0625, f);
+  EXPECT_DOUBLE_EQ(Fixed::div(a, tiny, f).to_double(), f.max_value());
+}
+
+TEST(Fixed, DivMatchesDoubleWithinResolution) {
+  const Format f{24, 16, true};
+  const double res = f.resolution();
+  for (int i = -15; i <= 15; ++i) {
+    for (int j = 1; j <= 15; ++j) {
+      const double a = i * 0.37, b = j * 0.21;
+      const Fixed fa = Fixed::from_double(a, f);
+      const Fixed fb = Fixed::from_double(b, f);
+      if (std::fabs(a / b) < f.max_value() - 1.0) {
+        EXPECT_NEAR(Fixed::div(fa, fb, f).to_double(), a / b,
+                    2.0 * res + std::fabs(a / b) * 1e-4)
+            << a << "/" << b;
+      }
+    }
+  }
+}
+
+TEST(Fixed, NegateSaturatesAtMin) {
+  const Format f{8, 0, true};
+  const Fixed min = Fixed::from_double(-128.0, f);
+  EXPECT_DOUBLE_EQ(min.negate().to_double(), 127.0);  // saturate, not wrap
+  EXPECT_THROW(min.negate(Overflow::kThrow), std::overflow_error);
+  const Fixed x = Fixed::from_double(5.0, f);
+  EXPECT_DOUBLE_EQ(x.negate().to_double(), -5.0);
+}
+
+TEST(Fixed, ConvertBetweenFormats) {
+  const Format wide{32, 24, true};
+  const Format narrow{10, 6, true};
+  const Fixed x = Fixed::from_double(3.141592, wide);
+  const Fixed y = x.convert(narrow);
+  EXPECT_NEAR(y.to_double(), 3.141592, narrow.resolution());
+  // Widening back is lossless.
+  const Fixed z = y.convert(wide);
+  EXPECT_DOUBLE_EQ(z.to_double(), y.to_double());
+}
+
+TEST(Fixed, RoundingModesDiffer) {
+  const Format src{16, 8, true};
+  const Format dst{16, 4, true};
+  // 0.15625 * 256 = 40 raw; to 4 frac bits: 40/16 = 2.5 raw.
+  const Fixed x = Fixed::from_double(0.15625, src);
+  EXPECT_DOUBLE_EQ(x.convert(dst, Rounding::kNearest).to_double(), 0.1875);
+  EXPECT_DOUBLE_EQ(x.convert(dst, Rounding::kTruncate).to_double(), 0.125);
+}
+
+TEST(Fixed, NearestRoundsHalfAwayFromZeroSymmetrically) {
+  const Format src{16, 8, true};
+  const Format dst{16, 4, true};
+  const Fixed pos = Fixed::from_double(0.15625, src);
+  const Fixed neg = Fixed::from_double(-0.15625, src);
+  EXPECT_DOUBLE_EQ(pos.convert(dst).to_double(),
+                   -neg.convert(dst).to_double());
+}
+
+// Property sweep: add/sub/mul agree with double arithmetic to within the
+// output resolution across formats.
+class FixedArithmetic : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedArithmetic, MatchesDoubleWithinResolution) {
+  const int bits = GetParam();
+  const Format f{bits, bits - 3, true};  // 2 integer bits
+  const double res = f.resolution();
+  for (int i = -20; i <= 20; ++i) {
+    for (int j = -20; j <= 20; ++j) {
+      const double a = i * 0.09, b = j * 0.07;
+      const Fixed fa = Fixed::from_double(a, f);
+      const Fixed fb = Fixed::from_double(b, f);
+      if (std::fabs(a + b) < f.max_value()) {
+        EXPECT_NEAR(Fixed::add(fa, fb, f).to_double(), a + b, 2.0 * res);
+      }
+      if (std::fabs(a - b) < f.max_value()) {
+        EXPECT_NEAR(Fixed::sub(fa, fb, f).to_double(), a - b, 2.0 * res);
+      }
+      if (std::fabs(a * b) < f.max_value()) {
+        EXPECT_NEAR(Fixed::mul(fa, fb, f).to_double(), a * b,
+                    2.0 * res + std::fabs(a) * res + std::fabs(b) * res);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FixedArithmetic,
+                         ::testing::Values(10, 12, 16, 18, 24, 32, 48));
+
+}  // namespace
+}  // namespace rat::fx

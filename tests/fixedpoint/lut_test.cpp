@@ -1,0 +1,107 @@
+#include "fixedpoint/lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rat::fx {
+namespace {
+
+const Format kIn{18, 17, true};
+const Format kVal{18, 17, true};
+
+double gaussian(double x) { return std::exp(-x * x * 8.0); }
+
+TEST(FunctionLut, ConstructionValidation) {
+  EXPECT_THROW(FunctionLut(nullptr, 0.0, 1.0, 8, kIn, kVal),
+               std::invalid_argument);
+  EXPECT_THROW(FunctionLut(gaussian, 1.0, 1.0, 8, kIn, kVal),
+               std::invalid_argument);
+  EXPECT_THROW(FunctionLut(gaussian, 0.0, 1.0, 0, kIn, kVal),
+               std::invalid_argument);
+  EXPECT_THROW(FunctionLut(gaussian, 0.0, 1.0, 21, kIn, kVal),
+               std::invalid_argument);
+  EXPECT_NO_THROW(FunctionLut(gaussian, 0.0, 1.0, 8, kIn, kVal));
+}
+
+TEST(FunctionLut, EntriesAndStorage) {
+  const FunctionLut lut(gaussian, 0.0, 1.0, 8, kIn, kVal);
+  EXPECT_EQ(lut.entries(), 257u);  // 2^8 + guard entry for interpolation
+  // 18-bit entries round to 3 bytes each.
+  EXPECT_EQ(lut.storage_bytes(), 257 * 3);
+}
+
+TEST(FunctionLut, ExactAtSamplePoints) {
+  const FunctionLut lut(gaussian, 0.0, 1.0, 6, kIn, kVal, false);
+  for (int i = 0; i < 64; ++i) {
+    const double x = i / 64.0;
+    EXPECT_NEAR(lut.evaluate(x), gaussian(x), kVal.resolution() * 1.01) << x;
+  }
+}
+
+TEST(FunctionLut, InterpolationBeatsNearestLookup) {
+  const FunctionLut nearest(gaussian, 0.0, 1.0, 6, kIn, kVal, false);
+  const FunctionLut interp(gaussian, 0.0, 1.0, 6, kIn, kVal, true);
+  EXPECT_LT(interp.max_abs_error(), nearest.max_abs_error() * 0.25);
+}
+
+TEST(FunctionLut, ErrorShrinksWithTableSize) {
+  double prev = 1e9;
+  for (int bits : {4, 6, 8, 10}) {
+    const FunctionLut lut(gaussian, 0.0, 1.0, bits, kIn, kVal, false);
+    const double err = lut.max_abs_error();
+    EXPECT_LT(err, prev) << bits;
+    prev = err;
+  }
+}
+
+TEST(FunctionLut, ClampsOutOfDomainInputs) {
+  const FunctionLut lut(gaussian, 0.0, 1.0, 8, kIn, kVal);
+  // Inputs outside [lo, hi) evaluate at the clamped endpoints.
+  EXPECT_NEAR(lut.evaluate(-0.7), gaussian(0.0), 0.01);
+  const Format wide{20, 15, true};
+  const Fixed big = Fixed::from_double(3.0, wide);
+  EXPECT_NEAR(lut.evaluate(big).to_double(), gaussian(1.0), 0.01);
+}
+
+TEST(FunctionLut, NegativeDomain) {
+  const FunctionLut lut([](double x) { return x * x; }, -1.0, 1.0, 8,
+                        kIn, kVal);
+  EXPECT_NEAR(lut.evaluate(-0.5), 0.25, 0.001);
+  EXPECT_NEAR(lut.evaluate(0.5), 0.25, 0.001);
+}
+
+TEST(FunctionLut, ValueQuantizationFloorsError) {
+  // Even a huge table cannot beat the value format's resolution.
+  const Format coarse{8, 7, true};
+  const FunctionLut lut(gaussian, 0.0, 1.0, 12, kIn, coarse);
+  EXPECT_GT(lut.max_abs_error(), 0.25 * coarse.resolution());
+}
+
+TEST(MinIndexBits, FindsMinimalTable) {
+  const int bits = min_index_bits_for(gaussian, 0.0, 1.0, kIn, kVal,
+                                      /*tolerance=*/1e-3, 4, 14);
+  ASSERT_GT(bits, 4);
+  ASSERT_LE(bits, 14);
+  const FunctionLut at(gaussian, 0.0, 1.0, bits, kIn, kVal);
+  EXPECT_LE(at.max_abs_error(), 1e-3);
+  const FunctionLut below(gaussian, 0.0, 1.0, bits - 1, kIn, kVal);
+  EXPECT_GT(below.max_abs_error(), 1e-3);
+}
+
+TEST(MinIndexBits, ReturnsMinusOneWhenImpossible) {
+  EXPECT_EQ(min_index_bits_for(gaussian, 0.0, 1.0, kIn, kVal, 1e-12, 4, 8),
+            -1);
+  EXPECT_THROW(
+      min_index_bits_for(gaussian, 0.0, 1.0, kIn, kVal, 0.0, 4, 8),
+      std::invalid_argument);
+}
+
+TEST(FunctionLut, MaxAbsErrorValidation) {
+  const FunctionLut lut(gaussian, 0.0, 1.0, 8, kIn, kVal);
+  EXPECT_THROW(lut.max_abs_error(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rat::fx

@@ -1,0 +1,107 @@
+// Randomized cross-validation: the analytic composition model
+// (core::predict_composite, sequential mode) against the staged executor
+// on an ideal alpha-scaled bus. The two are independent implementations of
+// the same semantics; they must agree to floating-point accuracy for any
+// stage structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/composition.hpp"
+#include "core/units.hpp"
+#include "rcsim/staged_executor.hpp"
+#include "util/rng.hpp"
+
+namespace rat {
+namespace {
+
+struct RandomComposite {
+  std::vector<core::StageSpec> stages;
+  rcsim::StagedWorkload workload;
+  rcsim::Link link;
+  double fclock;
+};
+
+RandomComposite make_case(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const double bw = rng.uniform(5e8, 2e9);
+  const double alpha_w = rng.uniform(0.2, 1.0);
+  const double alpha_r = rng.uniform(0.2, 1.0);
+  const double fclock = rng.uniform(50e6, 250e6);
+  const std::size_t n_stages = 1 + rng.uniform_index(4);
+  const std::size_t n_iter = 1 + rng.uniform_index(30);
+
+  RandomComposite c{
+      {},
+      {},
+      rcsim::Link("analytic", bw,
+                  rcsim::LinkDirection{0.0, alpha_w * bw, 0.0},
+                  rcsim::LinkDirection{0.0, alpha_r * bw, 0.0}),
+      fclock};
+  c.workload.n_iterations = n_iter;
+  for (std::size_t s = 0; s < n_stages; ++s) {
+    core::StageSpec spec;
+    spec.inputs.name = "stage" + std::to_string(s);
+    spec.inputs.dataset = {64 + rng.uniform_index(4096),
+                           rng.uniform_index(4096), 4.0};
+    spec.inputs.comm = {bw, alpha_w, alpha_r};
+    spec.inputs.comp = {rng.uniform(10.0, 5000.0), rng.uniform(1.0, 64.0),
+                        {fclock}};
+    spec.inputs.software = {rng.uniform(0.1, 10.0), n_iter};
+    spec.fclock_hz = fclock;
+    // Hand off on-chip with 50% probability (never on the last stage).
+    spec.output_stays_on_chip =
+        s + 1 < n_stages && rng.uniform() < 0.5;
+    c.stages.push_back(spec);
+  }
+  bool received_on_chip = false;
+  for (const auto& spec : c.stages) {
+    rcsim::StageWorkload sw;
+    sw.input_bytes =
+        received_on_chip
+            ? 0
+            : static_cast<std::size_t>(
+                  static_cast<double>(spec.inputs.dataset.elements_in) *
+                  spec.inputs.dataset.bytes_per_element);
+    sw.output_bytes = spec.output_stays_on_chip
+                          ? 0
+                          : static_cast<std::size_t>(
+                                static_cast<double>(
+                                    spec.inputs.dataset.elements_out) *
+                                spec.inputs.dataset.bytes_per_element);
+    sw.cycles = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(spec.inputs.dataset.elements_in) *
+        spec.inputs.comp.ops_per_element /
+        spec.inputs.comp.throughput_ops_per_cycle));
+    sw.handoff_on_chip = spec.output_stays_on_chip;
+    received_on_chip = spec.output_stays_on_chip;
+    c.workload.stages.push_back(sw);
+  }
+  return c;
+}
+
+class CompositionSim : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompositionSim, AnalyticMatchesSimulated) {
+  const RandomComposite c = make_case(GetParam());
+  const auto analytic = core::predict_composite(
+      c.stages, core::CompositionMode::kSequential);
+  rcsim::ExecutionConfig cfg;
+  cfg.fclock_hz = c.fclock;
+  const auto sim = rcsim::execute_staged(c.workload, c.link, cfg);
+  // Cycle rounding introduces up to one clock period per stage-iteration.
+  const double slack =
+      static_cast<double>(c.workload.stages.size() *
+                          c.workload.n_iterations) /
+          c.fclock +
+      1e-9 * analytic.t_total_sec;
+  EXPECT_NEAR(sim.t_total_sec, analytic.t_total_sec, slack)
+      << "seed " << GetParam();
+  EXPECT_TRUE(sim.timeline.lanes_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompositionSim,
+                         ::testing::Range<std::uint64_t>(1000, 1030));
+
+}  // namespace
+}  // namespace rat

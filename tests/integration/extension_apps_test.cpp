@@ -1,0 +1,102 @@
+// End-to-end consistency for the extension case studies (string matching,
+// block sorting): functional correctness of the hardware models against
+// software baselines at scale, and agreement between the RAT worksheet
+// prediction and the simulated platform within the modeled overheads.
+#include <gtest/gtest.h>
+
+#include "apps/hw_run.hpp"
+#include "apps/sorting.hpp"
+#include "apps/strmatch.hpp"
+#include "core/throughput.hpp"
+#include "core/units.hpp"
+#include "rcsim/microbench.hpp"
+#include "rcsim/platform.hpp"
+
+namespace rat {
+namespace {
+
+using core::mhz;
+
+TEST(ExtensionStrMatch, PredictVsSimulateComputeSide) {
+  apps::StrMatchConfig cfg;
+  cfg.patterns = {"fpga", "throughput"};
+  cfg.chunk = 65536;
+  const apps::StrMatchDesign design(cfg);
+  const auto platform = rcsim::nallatech_h101();
+  rcsim::Microbench mb(platform.link);
+  const auto alphas = mb.derive_alphas(cfg.chunk);
+  const auto in = design.rat_inputs(
+      1.0, 64,
+      core::CommunicationParams{platform.link.documented_bw(),
+                                alphas.alpha_write, alphas.alpha_read});
+
+  rcsim::Workload w;
+  w.n_iterations = 64;
+  w.io = [&](std::size_t) { return design.io(); };
+  w.cycles = [&](std::size_t) { return design.cycles_per_iteration(); };
+  const auto run = apps::simulate_on_platform(
+      w, platform, mhz(150), rcsim::Buffering::kSingle, 1.0);
+
+  const auto pred = core::predict(in, mhz(150));
+  // Computation: the only unmodeled term is the drain (longest pattern).
+  EXPECT_NEAR(run.measured.t_comp_sec, pred.t_comp_sec,
+              0.01 * pred.t_comp_sec);
+  // Communication: under-predicted by the usual in-app per-transfer
+  // overheads, but same order.
+  EXPECT_GT(run.measured.t_comm_sec, pred.t_comm_sec);
+  EXPECT_LT(run.measured.t_comm_sec, 10.0 * pred.t_comm_sec);
+}
+
+TEST(ExtensionStrMatch, SystolicModelAtScale) {
+  apps::StrMatchConfig cfg;
+  cfg.patterns = {"abab", "bbbb", "abc"};
+  cfg.chunk = 4096;
+  const apps::StrMatchDesign design(cfg);
+  const auto text = apps::random_text(200000, cfg, 0.01, 777, 'a', 'c');
+  EXPECT_EQ(design.count_matches(text),
+            apps::count_matches_shift_or(text, cfg));
+}
+
+TEST(ExtensionSorting, HybridSortAtScale) {
+  apps::SortConfig cfg;
+  cfg.block = 1024;
+  cfg.comparators = 64;
+  const auto keys = apps::random_keys(1 << 17, 888);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(apps::hybrid_sort(keys, cfg), expected);
+}
+
+TEST(ExtensionSorting, WorksheetCommBoundVerdictHoldsInSimulation) {
+  // The sort worksheet predicts a communication-bound design (util_comm
+  // ~100% DB): the simulated platform must agree, and double buffering
+  // must largely hide the (small) compute.
+  apps::SortConfig cfg;
+  cfg.block = 1024;
+  cfg.comparators = 64;
+  const apps::SortDesign design(cfg);
+  const auto platform = rcsim::nallatech_h101();
+  rcsim::Microbench mb(platform.link);
+  const auto alphas = mb.derive_alphas(cfg.block * 4);
+  const auto in = design.rat_inputs(
+      2.0, 256,
+      core::CommunicationParams{platform.link.documented_bw(),
+                                alphas.alpha_write, alphas.alpha_read});
+  const auto pred = core::predict(in, mhz(150));
+  EXPECT_TRUE(pred.communication_bound());
+
+  rcsim::Workload w;
+  w.n_iterations = 256;
+  w.io = [&](std::size_t) { return design.io(); };
+  w.cycles = [&](std::size_t) { return design.cycles_per_iteration(); };
+  const auto run = apps::simulate_on_platform(
+      w, platform, mhz(150), rcsim::Buffering::kDouble, 2.0);
+  EXPECT_GT(run.measured.t_comm_sec, run.measured.t_comp_sec);
+  // Bus saturated: makespan ~ comm busy time (+ tail).
+  EXPECT_NEAR(run.exec.t_total_sec,
+              run.exec.t_comm_sec + run.exec.t_sync_sec,
+              0.05 * run.exec.t_total_sec);
+}
+
+}  // namespace
+}  // namespace rat

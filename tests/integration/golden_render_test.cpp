@@ -1,0 +1,69 @@
+// Golden-output tests: the exact rendered text of the paper-facing
+// artifacts. Any formatting regression in the worksheet, Gantt or table
+// paths shows up here as a readable diff.
+#include <gtest/gtest.h>
+
+#include "core/units.hpp"
+#include "core/worksheet.hpp"
+#include "rcsim/executor.hpp"
+
+namespace rat {
+namespace {
+
+TEST(Golden, Table3PerformanceTable) {
+  const auto preds = core::predict_all(core::pdf1d_inputs());
+  core::Measured actual;
+  actual.fclock_hz = core::mhz(150);
+  actual.t_comm_sec = 2.5e-5;
+  actual.t_comp_sec = 1.39e-4;
+  actual.t_rc_sec = 7.45e-2;
+  actual.speedup = 7.8;
+  actual.util_comm = 0.15;
+  actual.util_comp = 0.85;
+  const auto t = core::performance_table(
+      preds, {actual}, core::WorksheetMode::kSingleBuffered);
+  const std::string expected =
+      "+--------------+-----------+-----------+-----------+---------+\n"
+      "| quantity     | Predicted | Predicted | Predicted | Actual  |\n"
+      "+--------------+-----------+-----------+-----------+---------+\n"
+      "| fclk (MHz)   | 75        | 100       | 150       | 150     |\n"
+      "| tcomm (sec)  | 5.56E-6   | 5.56E-6   | 5.56E-6   | 2.50E-5 |\n"
+      "| tcomp (sec)  | 2.62E-4   | 1.97E-4   | 1.31E-4   | 1.39E-4 |\n"
+      "| utilcomm_SB  | 2%        | 3%        | 4%        | 15%     |\n"
+      "| utilcomp_SB  | 98%       | 97%       | 96%       | 85%     |\n"
+      "| tRC_SB (sec) | 1.07E-1   | 8.09E-2   | 5.47E-2   | 7.45E-2 |\n"
+      "| speedup      | 5.4       | 7.1       | 10.6      | 7.8     |\n"
+      "+--------------+-----------+-----------+-----------+---------+\n";
+  EXPECT_EQ(t.to_ascii(), expected);
+}
+
+TEST(Golden, SingleBufferedGantt) {
+  // Three iterations of a perfectly regular workload render as the
+  // paper's Fig. 2 top row: R C W, strictly serial.
+  rcsim::Workload w;
+  w.n_iterations = 3;
+  w.io = [](std::size_t) {
+    rcsim::IterationIo io;
+    io.input_chunks_bytes = {30000};
+    io.output_chunks_bytes = {30000};
+    return io;
+  };
+  w.cycles = [](std::size_t) { return std::uint64_t{6000}; };
+  const rcsim::Link link("g", 1e9, rcsim::LinkDirection{0.0, 1e9, 0.0},
+                         rcsim::LinkDirection{0.0, 1e9, 0.0});
+  rcsim::ExecutionConfig cfg;
+  cfg.fclock_hz = 100e6;
+  const auto r = rcsim::execute(w, link, cfg);
+  const std::string expected =
+      "Comm |R1RRRRRRRR                    W1WWWWWWWWR2RRRRRRRR"
+      "                    W2WWWWWWWWR3RRRRRRRR"
+      "                    W3WWWWWWWW|\n"
+      "Comp |          C1CCCCCCCCCCCCCCCCCC                    "
+      "C2CCCCCCCCCCCCCCCCCC                    "
+      "C3CCCCCCCCCCCCCCCCCC          |\n";
+  const std::string gantt = r.timeline.to_gantt(120);
+  EXPECT_EQ(gantt.substr(0, expected.size()), expected);
+}
+
+}  // namespace
+}  // namespace rat

@@ -1,0 +1,109 @@
+#include "rcsim/cycle_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rat::rcsim {
+namespace {
+
+PipelineSpec spec(double ii, double stall, std::uint64_t depth,
+                  std::uint64_t instances = 1, double ops = 4.0) {
+  PipelineSpec s;
+  s.name = "t";
+  s.initiation_interval = ii;
+  s.stall_per_item = stall;
+  s.depth = depth;
+  s.instances = instances;
+  s.ops_per_item = ops;
+  return s;
+}
+
+TEST(CycleSim, ZeroItems) {
+  const auto b = simulate_pipeline(spec(1.0, 0.0, 10), 0);
+  EXPECT_EQ(b.total_cycles, 0u);
+  EXPECT_DOUBLE_EQ(b.issue_fraction(), 0.0);
+}
+
+TEST(CycleSim, FullyPipelinedBreakdown) {
+  const auto s = spec(1.0, 0.0, 10);
+  const auto b = simulate_pipeline(s, 100);
+  EXPECT_EQ(b.total_cycles, 110u);
+  EXPECT_EQ(b.issue_cycles, 100u);
+  EXPECT_EQ(b.ii_cycles, 0u);
+  EXPECT_EQ(b.stall_cycles, 0u);
+  EXPECT_EQ(b.drain_cycles, 10u);
+}
+
+TEST(CycleSim, StallsAccountedSeparately) {
+  const auto s = spec(1.0, 3.0, 5);
+  const auto b = simulate_pipeline(s, 50);
+  EXPECT_EQ(b.issue_cycles, 50u);
+  EXPECT_EQ(b.stall_cycles, 150u);
+  EXPECT_EQ(b.total_cycles, 205u);
+}
+
+TEST(CycleSim, IiCyclesForMultiCycleItems) {
+  const auto s = spec(4.0, 0.0, 8);
+  const auto b = simulate_pipeline(s, 25);
+  EXPECT_EQ(b.issue_cycles, 25u);
+  EXPECT_EQ(b.ii_cycles, 75u);  // 3 extra cycles per item
+  EXPECT_EQ(b.stall_cycles, 0u);
+  EXPECT_EQ(b.total_cycles, 108u);
+}
+
+TEST(CycleSim, BreakdownPartitionsTotal) {
+  for (double ii : {1.0, 1.5, 3.0, 32.0}) {
+    for (double stall : {0.0, 2.0, 9.0}) {
+      const auto s = spec(ii, stall, 17);
+      const auto b = simulate_pipeline(s, 777);
+      EXPECT_EQ(b.issue_cycles + b.ii_cycles + b.stall_cycles +
+                    b.drain_cycles,
+                b.total_cycles)
+          << ii << " " << stall;
+    }
+  }
+}
+
+// The central property: the cycle-level simulation agrees exactly with the
+// closed-form model across the parameter space.
+class CycleSimEquivalence
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(CycleSimEquivalence, MatchesClosedForm) {
+  const auto [ii, stall, items] = GetParam();
+  for (std::uint64_t instances : {1u, 2u, 4u, 7u}) {
+    const auto s = spec(ii, stall, 64, instances);
+    const auto b = simulate_pipeline(s, static_cast<std::uint64_t>(items));
+    EXPECT_EQ(b.total_cycles,
+              pipeline_cycles(s, static_cast<std::uint64_t>(items)))
+        << "ii=" << ii << " stall=" << stall << " items=" << items
+        << " instances=" << instances;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CycleSimEquivalence,
+    ::testing::Combine(::testing::Values(1.0, 1.5, 3.0, 6144.0),
+                       ::testing::Values(0.0, 1.0, 9.0),
+                       ::testing::Values(1, 2, 99, 512, 1024)));
+
+TEST(CycleSim, Pdf1dOccupancyExplainsDerating) {
+  // The paper derated 24 ideal ops/cycle to 20 for "latency and pipeline
+  // stalls"; the simulated breakdown shows those cycles explicitly.
+  PipelineSpec s;
+  s.name = "pdf1d";
+  s.depth = 64;
+  s.initiation_interval = 32.0;
+  s.stall_per_item = 9.0;
+  s.instances = 1;
+  s.ops_per_item = 768.0;
+  const auto b = simulate_pipeline(s, 512);
+  EXPECT_NEAR(b.effective_ops_per_cycle(s, 512), 18.7, 0.2);
+  // Stall cycles are ~22% of the busy time — the derate's origin.
+  const double stall_share =
+      static_cast<double>(b.stall_cycles) /
+      static_cast<double>(b.total_cycles);
+  EXPECT_NEAR(stall_share, 9.0 / 41.0, 0.01);
+}
+
+}  // namespace
+}  // namespace rat::rcsim

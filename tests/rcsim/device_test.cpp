@@ -1,0 +1,74 @@
+#include "rcsim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rat::rcsim {
+namespace {
+
+TEST(Device, Lx100Inventory) {
+  const Device d = virtex4_lx100();
+  EXPECT_EQ(d.family, Family::kXilinxVirtex4);
+  EXPECT_EQ(d.inventory.dsp, 96);
+  EXPECT_EQ(d.inventory.bram, 240);
+  EXPECT_EQ(d.inventory.logic, 49152);
+  EXPECT_EQ(d.logic_unit_name, "slices");
+}
+
+TEST(Device, Ep2s180Inventory) {
+  const Device d = stratix2_ep2s180();
+  EXPECT_EQ(d.family, Family::kAlteraStratix2);
+  EXPECT_EQ(d.inventory.dsp, 768);
+  EXPECT_EQ(d.inventory.logic, 143520);
+  EXPECT_EQ(d.dsp_unit_name, "9-bit DSP");
+}
+
+TEST(Device, Virtex4MultiplierCosts) {
+  const Device d = virtex4_lx100();
+  EXPECT_EQ(d.dsp_per_multiplier(18), 1);
+  // Paper §3.3: "32-bit fixed-point multiplications on Xilinx V4 FPGAs
+  // require two dedicated 18-bit multipliers".
+  EXPECT_EQ(d.dsp_per_multiplier(32), 2);
+  EXPECT_EQ(d.dsp_per_multiplier(35), 4);
+  EXPECT_EQ(d.dsp_per_multiplier(48), 8);
+  EXPECT_EQ(d.dsp_per_multiplier(8), 1);
+}
+
+TEST(Device, Stratix2MultiplierCosts) {
+  const Device d = stratix2_ep2s180();
+  EXPECT_EQ(d.dsp_per_multiplier(9), 1);
+  EXPECT_EQ(d.dsp_per_multiplier(18), 2);
+  EXPECT_EQ(d.dsp_per_multiplier(36), 8);
+  EXPECT_EQ(d.dsp_per_multiplier(64), 16);
+}
+
+TEST(Device, MultiplierWidthValidation) {
+  const Device d = virtex4_lx100();
+  EXPECT_THROW(d.dsp_per_multiplier(0), std::invalid_argument);
+  EXPECT_THROW(d.dsp_per_multiplier(-4), std::invalid_argument);
+  EXPECT_THROW(d.dsp_per_multiplier(65), std::invalid_argument);
+}
+
+TEST(Device, BramForBytes) {
+  const Device v4 = virtex4_lx100();
+  EXPECT_EQ(v4.bytes_per_bram(), 18 * 1024 / 8);
+  EXPECT_EQ(v4.bram_for_bytes(0), 0);
+  EXPECT_EQ(v4.bram_for_bytes(1), 1);
+  EXPECT_EQ(v4.bram_for_bytes(2304), 1);
+  EXPECT_EQ(v4.bram_for_bytes(2305), 2);
+  EXPECT_THROW(v4.bram_for_bytes(-1), std::invalid_argument);
+
+  const Device s2 = stratix2_ep2s180();
+  EXPECT_EQ(s2.bytes_per_bram(), 576);
+  EXPECT_EQ(s2.bram_for_bytes(577), 2);
+}
+
+TEST(Device, LookupByName) {
+  EXPECT_EQ(device_by_name("lx100").family, Family::kXilinxVirtex4);
+  EXPECT_EQ(device_by_name("ep2s180").family, Family::kAlteraStratix2);
+  EXPECT_THROW(device_by_name("lx200"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rat::rcsim

@@ -1,0 +1,117 @@
+// Randomized property tests for the executor: across a seeded sweep of
+// workload shapes and link parameters, the fundamental invariants must
+// hold — double buffering never loses, lanes never overlap, aggregate
+// times compose, and the schedule brackets the analytic Eq. (5)/(6)
+// bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rcsim/executor.hpp"
+#include "util/rng.hpp"
+
+namespace rat::rcsim {
+namespace {
+
+struct RandomCase {
+  Link link;
+  Workload workload;
+  double fclock;
+  double sync;
+};
+
+RandomCase make_case(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const LinkDirection h2f{rng.uniform(0.0, 2e-5),
+                          rng.uniform(1e8, 2e9),
+                          rng.uniform(0.0, 1e-5)};
+  const LinkDirection f2h{rng.uniform(0.0, 2e-5),
+                          rng.uniform(1e8, 2e9),
+                          rng.uniform(0.0, 1e-5)};
+  RandomCase c{Link("random", 1e9, h2f, f2h), {}, 0.0, 0.0};
+  const std::size_t iters = 1 + rng.uniform_index(12);
+  const std::size_t in_bytes = 16 + rng.uniform_index(100000);
+  const std::size_t out_chunks = 1 + rng.uniform_index(6);
+  const std::size_t out_bytes = 16 + rng.uniform_index(20000);
+  const std::uint64_t cycles = 100 + rng.uniform_index(2000000);
+  c.workload.n_iterations = iters;
+  c.workload.io = [=](std::size_t) {
+    IterationIo io;
+    io.input_chunks_bytes = {in_bytes};
+    io.output_chunks_bytes.assign(out_chunks, out_bytes);
+    return io;
+  };
+  c.workload.cycles = [=](std::size_t) { return cycles; };
+  c.fclock = rng.uniform(50e6, 300e6);
+  c.sync = rng.uniform(0.0, 3e-5);
+  return c;
+}
+
+class ExecutorProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecutorProperties, InvariantsHoldForRandomWorkloads) {
+  const RandomCase c = make_case(GetParam());
+  ExecutionConfig sb_cfg;
+  sb_cfg.buffering = Buffering::kSingle;
+  sb_cfg.fclock_hz = c.fclock;
+  sb_cfg.host_sync_sec = c.sync;
+  ExecutionConfig db_cfg = sb_cfg;
+  db_cfg.buffering = Buffering::kDouble;
+
+  const auto sb = execute(c.workload, c.link, sb_cfg);
+  const auto db = execute(c.workload, c.link, db_cfg);
+
+  // 1. Lanes are serial resources.
+  EXPECT_TRUE(sb.timeline.lanes_consistent());
+  EXPECT_TRUE(db.timeline.lanes_consistent());
+
+  // 2. Double buffering never loses.
+  EXPECT_LE(db.t_total_sec, sb.t_total_sec + 1e-12);
+
+  // 3. Aggregate busy times are identical across modes (same work).
+  EXPECT_NEAR(sb.t_comm_sec, db.t_comm_sec, 1e-12);
+  EXPECT_NEAR(sb.t_comp_sec, db.t_comp_sec, 1e-12);
+
+  // 4. SB makespan is exactly the serial sum.
+  EXPECT_NEAR(sb.t_total_sec, sb.t_comm_sec + sb.t_comp_sec + sb.t_sync_sec,
+              1e-12);
+
+  // 5. DB makespan is bounded below by each resource's busy time and
+  //    above by the serial sum.
+  EXPECT_GE(db.t_total_sec, db.t_comp_sec - 1e-12);
+  EXPECT_GE(db.t_total_sec, db.t_comm_sec - 1e-12);
+
+  // 6. Utilizations are complementary.
+  EXPECT_NEAR(sb.util_comm + sb.util_comp, 1.0, 1e-9);
+
+  // 7. Every iteration computed exactly once, in order.
+  double prev_start = -1.0;
+  std::size_t computes = 0;
+  for (const auto& e : db.timeline.events()) {
+    if (e.kind != EventKind::kCompute) continue;
+    ++computes;
+    EXPECT_GT(e.start_sec, prev_start);
+    prev_start = e.start_sec;
+  }
+  EXPECT_EQ(computes, c.workload.n_iterations);
+}
+
+TEST_P(ExecutorProperties, SetupTimeShiftsEverything) {
+  const RandomCase c = make_case(GetParam() ^ 0xDEADBEEF);
+  ExecutionConfig cfg;
+  cfg.fclock_hz = c.fclock;
+  const auto base = execute(c.workload, c.link, cfg);
+  cfg.initial_setup_sec = 1.5e-3;
+  const auto with_setup = execute(c.workload, c.link, cfg);
+  EXPECT_NEAR(with_setup.t_total_sec, base.t_total_sec + 1.5e-3, 1e-12);
+  EXPECT_TRUE(with_setup.timeline.lanes_consistent());
+  // RAT's "ignore setup" assumption: relative error shrinks as 1/total.
+  const double rel = 1.5e-3 / base.t_total_sec;
+  EXPECT_NEAR(with_setup.t_total_sec / base.t_total_sec, 1.0 + rel, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorProperties,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace rat::rcsim

@@ -1,0 +1,219 @@
+#include "rcsim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rcsim/platform.hpp"
+
+namespace rat::rcsim {
+namespace {
+
+/// A synthetic link with clean numbers: no overheads, 1 GB/s both ways.
+Link clean_link(double rearm = 0.0) {
+  return Link("clean", 1e9, LinkDirection{0.0, 1e9, rearm},
+              LinkDirection{0.0, 1e9, rearm});
+}
+
+Workload uniform_workload(std::size_t iters, std::size_t in_bytes,
+                          std::size_t out_bytes, std::uint64_t cycles) {
+  Workload w;
+  w.n_iterations = iters;
+  w.io = [=](std::size_t) {
+    IterationIo io;
+    io.input_chunks_bytes = {in_bytes};
+    io.output_chunks_bytes = {out_bytes};
+    return io;
+  };
+  w.cycles = [=](std::size_t) { return cycles; };
+  return w;
+}
+
+ExecutionConfig config(Buffering b, double fclock = 1e6,
+                       double sync = 0.0) {
+  ExecutionConfig c;
+  c.buffering = b;
+  c.fclock_hz = fclock;
+  c.host_sync_sec = sync;
+  return c;
+}
+
+TEST(Executor, ValidatesInputs) {
+  const Link link = clean_link();
+  Workload w = uniform_workload(1, 100, 100, 10);
+  w.n_iterations = 0;
+  EXPECT_THROW(execute(w, link, config(Buffering::kSingle)),
+               std::invalid_argument);
+  Workload w2 = uniform_workload(1, 100, 100, 10);
+  w2.io = nullptr;
+  EXPECT_THROW(execute(w2, link, config(Buffering::kSingle)),
+               std::invalid_argument);
+  Workload w3 = uniform_workload(1, 100, 100, 10);
+  EXPECT_THROW(execute(w3, link, config(Buffering::kSingle, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Executor, SingleBufferedIsStrictlySerial) {
+  // Eq. (5): tRC,SB = Niter * (tcomm + tcomp).
+  const Link link = clean_link();
+  // in 1000 B -> 1 us, out 500 B -> 0.5 us, 100 cycles at 1 MHz -> 100 us.
+  const Workload w = uniform_workload(10, 1000, 500, 100);
+  const auto r = execute(w, link, config(Buffering::kSingle));
+  EXPECT_NEAR(r.t_total_sec, 10 * (1.5e-6 + 1e-4), 1e-12);
+  EXPECT_NEAR(r.t_comm_sec, 10 * 1.5e-6, 1e-12);
+  EXPECT_NEAR(r.t_comp_sec, 10 * 1e-4, 1e-12);
+  EXPECT_TRUE(r.timeline.lanes_consistent());
+}
+
+TEST(Executor, DoubleBufferedComputationBoundHidesCommunication) {
+  // Eq. (6): tRC,DB ~= Niter * max(tcomm, tcomp) for large Niter.
+  const Link link = clean_link();
+  const std::size_t n = 50;
+  const Workload w = uniform_workload(n, 1000, 500, 100);  // comp-bound
+  const auto r = execute(w, link, config(Buffering::kDouble));
+  // First input (1 us) is exposed; everything else overlaps compute.
+  EXPECT_NEAR(r.t_total_sec, 1e-6 + n * 1e-4 + 0.5e-6, 1e-9);
+  EXPECT_TRUE(r.timeline.lanes_consistent());
+}
+
+TEST(Executor, DoubleBufferedCommunicationBound) {
+  const Link link = clean_link();
+  const std::size_t n = 50;
+  // comm: 100+50 us per iteration; comp: 10 us -> communication bound.
+  const Workload w = uniform_workload(n, 100000, 50000, 10);
+  const auto r = execute(w, link, config(Buffering::kDouble));
+  // Bus is saturated: total ~= Niter * tcomm (+ tail compute).
+  const double tcomm = 1.5e-4;
+  EXPECT_NEAR(r.t_total_sec, n * tcomm + 1e-5, 0.01 * n * tcomm);
+  EXPECT_TRUE(r.timeline.lanes_consistent());
+}
+
+TEST(Executor, DoubleBufferedNeverSlowerThanSingle) {
+  const Link link = clean_link();
+  for (std::uint64_t cycles : {1u, 50u, 200u, 5000u}) {
+    const Workload w = uniform_workload(20, 10000, 10000, cycles);
+    const auto sb = execute(w, link, config(Buffering::kSingle));
+    const auto db = execute(w, link, config(Buffering::kDouble));
+    EXPECT_LE(db.t_total_sec, sb.t_total_sec + 1e-12) << cycles;
+  }
+}
+
+TEST(Executor, DoubleBufferingPrefetchesNextInput) {
+  // Fig. 2 ordering: R2 runs while C1 computes, before W1.
+  const Link link = clean_link();
+  const Workload w = uniform_workload(3, 1000, 1000, 1000);
+  const auto r = execute(w, link, config(Buffering::kDouble));
+  // Find input of iteration 1 and compute of iteration 0.
+  double in1_start = -1, c0_start = -1, c0_end = -1;
+  for (const auto& e : r.timeline.events()) {
+    if (e.kind == EventKind::kInputTransfer && e.iteration == 1)
+      in1_start = e.start_sec;
+    if (e.kind == EventKind::kCompute && e.iteration == 0) {
+      c0_start = e.start_sec;
+      c0_end = e.end_sec;
+    }
+  }
+  ASSERT_GE(in1_start, 0.0);
+  EXPECT_LT(in1_start, c0_end);  // overlaps compute 0
+  EXPECT_GE(in1_start, c0_start - 1e-12);
+}
+
+TEST(Executor, SingleBufferedDoesNotPrefetch) {
+  const Link link = clean_link();
+  const Workload w = uniform_workload(3, 1000, 1000, 1000);
+  const auto r = execute(w, link, config(Buffering::kSingle));
+  for (const auto& e : r.timeline.events()) {
+    if (e.kind == EventKind::kInputTransfer && e.iteration == 1) {
+      // Input 1 must start only after output 0 completed.
+      for (const auto& o : r.timeline.events()) {
+        if (o.kind == EventKind::kOutputTransfer && o.iteration == 0) {
+          EXPECT_GE(e.start_sec, o.end_sec - 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(Executor, HostSyncAddsToWallClockNotComm) {
+  const Link link = clean_link();
+  const Workload w = uniform_workload(10, 1000, 500, 100);
+  const auto base = execute(w, link, config(Buffering::kSingle));
+  const auto synced =
+      execute(w, link, config(Buffering::kSingle, 1e6, 2e-5));
+  EXPECT_NEAR(synced.t_total_sec, base.t_total_sec + 10 * 2e-5, 1e-12);
+  EXPECT_DOUBLE_EQ(synced.t_comm_sec, base.t_comm_sec);
+  EXPECT_NEAR(synced.t_sync_sec, 10 * 2e-5, 1e-15);
+}
+
+TEST(Executor, RearmPenaltyChargedPerTransfer) {
+  const Link with_rearm = clean_link(1e-6);
+  const Link without_rearm = clean_link(0.0);
+  const Workload w = uniform_workload(10, 1000, 500, 100);
+  const auto a = execute(w, with_rearm, config(Buffering::kSingle));
+  const auto b = execute(w, without_rearm, config(Buffering::kSingle));
+  EXPECT_NEAR(a.t_comm_sec - b.t_comm_sec, 20 * 1e-6, 1e-12);
+}
+
+TEST(Executor, ChunkedOutputSerializesOnBus) {
+  const Link link = clean_link();
+  Workload w;
+  w.n_iterations = 2;
+  w.io = [](std::size_t) {
+    IterationIo io;
+    io.input_chunks_bytes = {1000};
+    io.output_chunks_bytes = std::vector<std::size_t>(8, 500);  // 8 chunks
+    return io;
+  };
+  w.cycles = [](std::size_t) { return std::uint64_t{100}; };
+  const auto r = execute(w, link, config(Buffering::kSingle));
+  EXPECT_NEAR(r.t_comm_sec, 2 * (1e-6 + 8 * 0.5e-6), 1e-12);
+  EXPECT_TRUE(r.timeline.lanes_consistent());
+}
+
+TEST(Executor, UtilizationsSumToOne) {
+  const Link link = clean_link();
+  const Workload w = uniform_workload(5, 1000, 1000, 777);
+  const auto r = execute(w, link, config(Buffering::kSingle));
+  EXPECT_NEAR(r.util_comm + r.util_comp, 1.0, 1e-12);
+  EXPECT_GT(r.util_comp, r.util_comm);  // computation bound here
+}
+
+TEST(Executor, PerIterationAverages) {
+  const Link link = clean_link();
+  const Workload w = uniform_workload(4, 1000, 0, 100);
+  const auto r = execute(w, link, config(Buffering::kSingle));
+  EXPECT_NEAR(r.per_iter_comm(4), 1e-6, 1e-12);
+  EXPECT_NEAR(r.per_iter_comp(4), 1e-4, 1e-12);
+  EXPECT_DOUBLE_EQ(r.per_iter_comm(0), 0.0);
+}
+
+TEST(Executor, TimelineCoversAllIterations) {
+  const Link link = clean_link();
+  const std::size_t n = 7;
+  const Workload w = uniform_workload(n, 100, 100, 10);
+  for (auto buf : {Buffering::kSingle, Buffering::kDouble}) {
+    const auto r = execute(w, link, config(buf));
+    std::size_t computes = 0;
+    for (const auto& e : r.timeline.events())
+      if (e.kind == EventKind::kCompute) ++computes;
+    EXPECT_EQ(computes, n);
+  }
+}
+
+TEST(Executor, JitterIsDeterministicPerSeed) {
+  Link link = nallatech_pcix_link();
+  link.set_jitter(0.25);
+  const Workload w = uniform_workload(20, 2048, 4, 21056);
+  ExecutionConfig c = config(Buffering::kSingle, 150e6);
+  c.seed = 99;
+  const auto a = execute(w, link, c);
+  const auto b = execute(w, link, c);
+  EXPECT_DOUBLE_EQ(a.t_total_sec, b.t_total_sec);
+  c.seed = 100;
+  const auto d = execute(w, link, c);
+  EXPECT_NE(a.t_total_sec, d.t_total_sec);
+}
+
+}  // namespace
+}  // namespace rat::rcsim

@@ -1,0 +1,63 @@
+// Structural properties of the interconnect model across randomized
+// parameters: transfer time is affine and strictly increasing in size,
+// alpha is monotone in size and bounded by sustained/documented, and the
+// app path never beats the microbenchmark path.
+#include <gtest/gtest.h>
+
+#include "rcsim/interconnect.hpp"
+#include "util/rng.hpp"
+
+namespace rat::rcsim {
+namespace {
+
+Link random_link(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const double documented = rng.uniform(1e8, 4e9);
+  auto dir = [&] {
+    return LinkDirection{rng.uniform(0.0, 5e-5),
+                         rng.uniform(0.3, 1.2) * documented,
+                         rng.uniform(0.0, 2e-5)};
+  };
+  return Link("rand", documented, dir(), dir());
+}
+
+class InterconnectProperties : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(InterconnectProperties, TimeAffineAndIncreasing) {
+  const Link link = random_link(GetParam());
+  for (auto dir : {Direction::kHostToFpga, Direction::kFpgaToHost}) {
+    const double t1 = link.single_transfer_time(1000, dir);
+    const double t2 = link.single_transfer_time(2000, dir);
+    const double t3 = link.single_transfer_time(3000, dir);
+    EXPECT_GT(t2, t1);
+    // Affine: equal increments in size give equal increments in time.
+    EXPECT_NEAR(t3 - t2, t2 - t1, 1e-15 + 1e-9 * (t2 - t1));
+    // App path adds exactly the rearm cost.
+    EXPECT_NEAR(link.app_transfer_time(2000, dir) - t2,
+                link.direction(dir).rearm_sec, 1e-18);
+  }
+}
+
+TEST_P(InterconnectProperties, AlphaMonotoneAndBounded) {
+  const Link link = random_link(GetParam() ^ 0xBEEF);
+  for (auto dir : {Direction::kHostToFpga, Direction::kFpgaToHost}) {
+    const double cap =
+        link.direction(dir).sustained_bw / link.documented_bw();
+    double prev = 0.0;
+    for (std::size_t bytes = 64; bytes <= (16u << 20); bytes *= 4) {
+      const double a = link.measured_alpha(bytes, dir);
+      EXPECT_GE(a, prev - 1e-12);      // monotone non-decreasing in size
+      EXPECT_LE(a, cap + 1e-12);       // bounded by the sustained ratio
+      prev = a;
+    }
+    // Large-transfer limit approaches the cap when overhead is amortized.
+    EXPECT_NEAR(link.measured_alpha(1u << 30, dir), cap, 0.05 * cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterconnectProperties,
+                         ::testing::Range<std::uint64_t>(3000, 3025));
+
+}  // namespace
+}  // namespace rat::rcsim

@@ -1,0 +1,87 @@
+#include "rcsim/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rat::rcsim {
+namespace {
+
+TEST(Link, ConstructionValidation) {
+  const LinkDirection ok{1e-6, 1e9, 1e-6};
+  EXPECT_NO_THROW(Link("l", 1e9, ok, ok));
+  EXPECT_THROW(Link("l", 0.0, ok, ok), std::invalid_argument);
+  EXPECT_THROW(Link("l", 1e9, LinkDirection{1e-6, 0.0, 0.0}, ok),
+               std::invalid_argument);
+  EXPECT_THROW(Link("l", 1e9, LinkDirection{-1e-6, 1e9, 0.0}, ok),
+               std::invalid_argument);
+}
+
+TEST(Link, TransferTimeIsOverheadPlusWireTime) {
+  const Link link("l", 1e9, LinkDirection{1e-5, 5e8, 2e-6},
+                  LinkDirection{2e-5, 2.5e8, 3e-6});
+  EXPECT_DOUBLE_EQ(link.single_transfer_time(5000, Direction::kHostToFpga),
+                   1e-5 + 5000.0 / 5e8);
+  EXPECT_DOUBLE_EQ(link.single_transfer_time(5000, Direction::kFpgaToHost),
+                   2e-5 + 5000.0 / 2.5e8);
+  EXPECT_DOUBLE_EQ(link.app_transfer_time(5000, Direction::kHostToFpga),
+                   link.single_transfer_time(5000, Direction::kHostToFpga) +
+                       2e-6);
+}
+
+TEST(Link, AlphaGrowsWithTransferSizeTowardAsymptote) {
+  const Link link = nallatech_pcix_link();
+  double prev = 0.0;
+  for (std::size_t bytes : {256u, 1024u, 4096u, 65536u, 1048576u}) {
+    const double a = link.measured_alpha(bytes, Direction::kHostToFpga);
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+  // Asymptote: sustained/documented = 0.7.
+  EXPECT_NEAR(link.measured_alpha(1u << 28, Direction::kHostToFpga), 0.7,
+              0.01);
+  EXPECT_DOUBLE_EQ(link.measured_alpha(0, Direction::kHostToFpga), 0.0);
+}
+
+TEST(Link, NallatechReproducesPaperAlphasAt2KB) {
+  // Table 2: alpha_write = 0.37, alpha_read = 0.16, measured with a
+  // microbenchmark "for a data size comparable to one used by the 1-D PDF"
+  // (512 elements x 4 bytes = 2 KB).
+  const Link link = nallatech_pcix_link();
+  EXPECT_NEAR(link.measured_alpha(2048, Direction::kHostToFpga), 0.37, 0.005);
+  EXPECT_NEAR(link.measured_alpha(2048, Direction::kFpgaToHost), 0.16, 0.005);
+}
+
+TEST(Link, Xd1000SustainsMoreThanDocumented) {
+  // The MD case measured communication ~2x faster than the conservative
+  // 500 MB/s + alpha 0.9 prediction.
+  const Link link = xd1000_ht_link();
+  EXPECT_GT(link.measured_alpha(589824, Direction::kHostToFpga), 1.0);
+  const double t = link.app_transfer_time(589824, Direction::kHostToFpga) +
+                   link.app_transfer_time(589824, Direction::kFpgaToHost);
+  EXPECT_NEAR(t, 1.39e-3, 0.05e-3);  // Table 9 actual tcomm
+}
+
+TEST(Link, JitterValidationAndDeterminism) {
+  Link link = nallatech_pcix_link();
+  EXPECT_THROW(link.set_jitter(-0.1), std::invalid_argument);
+  EXPECT_THROW(link.set_jitter(1.0), std::invalid_argument);
+  link.set_jitter(0.2);
+  util::Rng a(5), b(5);
+  const double t1 = link.app_transfer_time(2048, Direction::kHostToFpga, a);
+  const double t2 = link.app_transfer_time(2048, Direction::kHostToFpga, b);
+  EXPECT_DOUBLE_EQ(t1, t2);  // same seed, same jitter draw
+  const double base = link.app_transfer_time(2048, Direction::kHostToFpga);
+  EXPECT_GE(t1, base * 0.8);
+  EXPECT_LE(t1, base * 1.2);
+}
+
+TEST(Link, NoJitterPathIgnoresRng) {
+  const Link link = nallatech_pcix_link();
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(link.app_transfer_time(2048, Direction::kHostToFpga, rng),
+                   link.app_transfer_time(2048, Direction::kHostToFpga));
+}
+
+}  // namespace
+}  // namespace rat::rcsim

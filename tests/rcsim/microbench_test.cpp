@@ -1,0 +1,78 @@
+#include "rcsim/microbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rat::rcsim {
+namespace {
+
+TEST(Microbench, MeasureMatchesSingleTransferWithoutJitter) {
+  const Link link = nallatech_pcix_link();
+  Microbench mb(link);
+  const AlphaSample s = mb.measure(2048, Direction::kHostToFpga);
+  EXPECT_EQ(s.bytes, 2048u);
+  EXPECT_DOUBLE_EQ(s.time_sec,
+                   link.single_transfer_time(2048, Direction::kHostToFpga));
+  EXPECT_DOUBLE_EQ(s.alpha,
+                   link.measured_alpha(2048, Direction::kHostToFpga));
+}
+
+TEST(Microbench, DeriveAlphasReproducesTable2) {
+  const Link link = nallatech_pcix_link();
+  Microbench mb(link);
+  const CommAlphas a = mb.derive_alphas(2048);
+  EXPECT_NEAR(a.alpha_write, 0.37, 0.005);
+  EXPECT_NEAR(a.alpha_read, 0.16, 0.005);
+}
+
+TEST(Microbench, SweepCoversBothDirections) {
+  const Link link = nallatech_pcix_link();
+  Microbench mb(link);
+  const auto samples = mb.sweep({1024, 4096});
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples[0].dir, Direction::kHostToFpga);
+  EXPECT_EQ(samples[1].dir, Direction::kFpgaToHost);
+  EXPECT_EQ(samples[2].bytes, 4096u);
+}
+
+TEST(Microbench, DefaultSweepSpansPowerOfTwoRange) {
+  const Link link = nallatech_pcix_link();
+  Microbench mb(link);
+  const auto samples = mb.sweep_default();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_EQ(samples.front().bytes, 256u);
+  EXPECT_EQ(samples.back().bytes, 4u << 20);
+}
+
+TEST(Microbench, AveragingReducesJitterNoise) {
+  Link link = nallatech_pcix_link();
+  link.set_jitter(0.3);
+  Microbench noisy(link, /*repeats=*/1, /*seed=*/1);
+  Microbench averaged(link, /*repeats=*/256, /*seed=*/1);
+  const double truth = link.single_transfer_time(2048, Direction::kHostToFpga);
+  const double e1 =
+      std::abs(noisy.measure(2048, Direction::kHostToFpga).time_sec - truth);
+  const double e256 = std::abs(
+      averaged.measure(2048, Direction::kHostToFpga).time_sec - truth);
+  EXPECT_LT(e256, 0.05 * truth);
+  EXPECT_LE(e256, e1 + 1e-12);
+}
+
+TEST(Microbench, RejectsNonPositiveRepeats) {
+  const Link link = nallatech_pcix_link();
+  EXPECT_THROW(Microbench(link, 0), std::invalid_argument);
+}
+
+TEST(Microbench, TableRendering) {
+  const Link link = nallatech_pcix_link();
+  Microbench mb(link);
+  const auto t = Microbench::to_table(mb.sweep({2048}));
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.cell(0, 1), "host->FPGA");
+  EXPECT_EQ(t.cell(1, 1), "FPGA->host");
+  EXPECT_EQ(t.cell(0, 3), "0.370");
+}
+
+}  // namespace
+}  // namespace rat::rcsim

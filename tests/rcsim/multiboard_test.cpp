@@ -1,0 +1,129 @@
+#include "rcsim/multiboard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/composition.hpp"
+#include "core/units.hpp"
+
+namespace rat::rcsim {
+namespace {
+
+Link clean_link() {
+  return Link("clean", 1e9, LinkDirection{0.0, 1e9, 0.0},
+              LinkDirection{0.0, 1e9, 0.0});
+}
+
+TEST(MultiBoard, Validation) {
+  const Link link = clean_link();
+  MultiBoardWorkload empty;
+  EXPECT_THROW(execute_multiboard(empty, link, 1e8),
+               std::invalid_argument);
+  MultiBoardWorkload w;
+  w.boards = {BoardShare{100, 100, 10}};
+  w.n_iterations = 0;
+  EXPECT_THROW(execute_multiboard(w, link, 1e8), std::invalid_argument);
+  w.n_iterations = 1;
+  EXPECT_THROW(execute_multiboard(w, link, 0.0), std::invalid_argument);
+}
+
+TEST(MultiBoard, SingleBoardMatchesScalarExpectation) {
+  MultiBoardWorkload w;
+  w.boards = {BoardShare{100000, 100000, 1000000}};  // 100+100us bus, 1ms comp
+  w.n_iterations = 20;
+  const auto r = execute_multiboard(w, clean_link(), 1e9);
+  // Compute bound: ~ n * 1 ms.
+  EXPECT_NEAR(r.t_total_sec, 20e-3 + 2e-4 + 1e-4, 1e-4);
+  EXPECT_NEAR(r.t_comp_busy_max_sec, 20e-3, 1e-12);
+}
+
+TEST(MultiBoard, ComputeDividesAcrossBoards) {
+  // Same total work on 1 vs 4 boards, compute-dominated: ~4x faster.
+  auto cycles_fn = [](std::size_t elems) {
+    return static_cast<std::uint64_t>(elems) * 1000u;
+  };
+  const auto w1 = split_evenly(4096, 4096, 4.0, 1, 10, cycles_fn);
+  const auto w4 = split_evenly(4096, 4096, 4.0, 4, 10, cycles_fn);
+  const auto r1 = execute_multiboard(w1, clean_link(), 1e8);
+  const auto r4 = execute_multiboard(w4, clean_link(), 1e8);
+  EXPECT_NEAR(r4.t_total_sec, r1.t_total_sec / 4.0,
+              0.05 * r1.t_total_sec);
+}
+
+TEST(MultiBoard, BusSaturationCapsScaling) {
+  // Communication-heavy split: adding boards cannot beat the shared bus.
+  auto cycles_fn = [](std::size_t elems) {
+    return static_cast<std::uint64_t>(elems);  // trivial compute
+  };
+  const auto w2 = split_evenly(1 << 20, 1 << 20, 4.0, 2, 8, cycles_fn);
+  const auto w8 = split_evenly(1 << 20, 1 << 20, 4.0, 8, 8, cycles_fn);
+  const auto r2 = execute_multiboard(w2, clean_link(), 1e8);
+  const auto r8 = execute_multiboard(w8, clean_link(), 1e8);
+  EXPECT_NEAR(r8.t_total_sec, r2.t_total_sec, 0.02 * r2.t_total_sec);
+}
+
+TEST(MultiBoard, AgreesWithAnalyticScalingModel) {
+  // Clean bus, MD-like worksheet: the simulated k-board run must land on
+  // predict_scaling's per-iteration max(bus, compute) model.
+  core::RatInputs in = core::md_inputs();
+  in.software.n_iterations = 6;  // give the schedule a steady state
+  const double fclock = core::mhz(100);
+  // cycles so that tcomp matches Eq. (4) for the share.
+  auto cycles_fn = [&](std::size_t elems) {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(elems) * in.comp.ops_per_element /
+        in.comp.throughput_ops_per_cycle);
+  };
+  // The analytic model uses alpha-scaled ideal bandwidth with no fixed
+  // overheads: build exactly that link.
+  const Link link("analytic", in.comm.ideal_bw_bytes_per_sec,
+                  LinkDirection{0.0,
+                                in.comm.alpha_write *
+                                    in.comm.ideal_bw_bytes_per_sec,
+                                0.0},
+                  LinkDirection{0.0,
+                                in.comm.alpha_read *
+                                    in.comm.ideal_bw_bytes_per_sec,
+                                0.0});
+  for (int k : {1, 2, 4, 8}) {
+    const auto curve = core::predict_scaling(in, fclock, k);
+    const auto& analytic = curve.back();
+    const auto w =
+        split_evenly(in.dataset.elements_in, in.dataset.elements_out,
+                     in.dataset.bytes_per_element, k,
+                     in.software.n_iterations, cycles_fn);
+    const auto sim = execute_multiboard(w, link, fclock);
+    // Steady-state per-iteration time: ignore the fill of the first
+    // iteration by comparing totals within 1 iteration's slack.
+    const double per_iter_analytic =
+        analytic.t_rc_sec * 6.0 / static_cast<double>(in.software.n_iterations) / 6.0;
+    EXPECT_NEAR(sim.t_total_sec, analytic.t_rc_sec,
+                per_iter_analytic * 1.05)
+        << k;
+  }
+}
+
+TEST(SplitEvenly, SharesSumAndCeilingDistribution) {
+  auto cycles_fn = [](std::size_t elems) {
+    return static_cast<std::uint64_t>(elems);
+  };
+  const auto w = split_evenly(1000, 500, 4.0, 3, 1, cycles_fn);
+  ASSERT_EQ(w.boards.size(), 3u);
+  std::size_t in_total = 0, out_total = 0;
+  for (const auto& b : w.boards) {
+    in_total += b.input_bytes;
+    out_total += b.output_bytes;
+  }
+  EXPECT_EQ(in_total, 4000u);
+  EXPECT_EQ(out_total, 2000u);
+  // Earlier boards carry the ceiling share.
+  EXPECT_GE(w.boards[0].cycles, w.boards[2].cycles);
+  EXPECT_THROW(split_evenly(10, 10, 4.0, 0, 1, cycles_fn),
+               std::invalid_argument);
+  EXPECT_THROW(split_evenly(10, 10, 4.0, 2, 1, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rat::rcsim

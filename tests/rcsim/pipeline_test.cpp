@@ -1,0 +1,107 @@
+#include "rcsim/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rat::rcsim {
+namespace {
+
+PipelineSpec basic() {
+  PipelineSpec s;
+  s.name = "t";
+  s.depth = 10;
+  s.initiation_interval = 1.0;
+  s.stall_per_item = 0.0;
+  s.instances = 1;
+  s.ops_per_item = 4.0;
+  return s;
+}
+
+TEST(Pipeline, ZeroItemsZeroCycles) {
+  EXPECT_EQ(pipeline_cycles(basic(), 0), 0u);
+}
+
+TEST(Pipeline, SteadyStatePlusFill) {
+  EXPECT_EQ(pipeline_cycles(basic(), 100), 110u);
+}
+
+TEST(Pipeline, InitiationIntervalScalesSteadyState) {
+  PipelineSpec s = basic();
+  s.initiation_interval = 3.0;
+  EXPECT_EQ(pipeline_cycles(s, 100), 310u);
+  s.initiation_interval = 1.5;  // fractional II rounds the total up
+  EXPECT_EQ(pipeline_cycles(s, 99), 10u + 149u);
+}
+
+TEST(Pipeline, StallAddsPerItem) {
+  PipelineSpec s = basic();
+  s.stall_per_item = 9.0;
+  EXPECT_EQ(pipeline_cycles(s, 512), 512u * 10u + 10u);
+}
+
+TEST(Pipeline, InstancesDivideItems) {
+  PipelineSpec s = basic();
+  s.instances = 4;
+  EXPECT_EQ(pipeline_cycles(s, 100), 25u + 10u);
+  EXPECT_EQ(pipeline_cycles(s, 101), 26u + 10u);  // ceil division
+}
+
+TEST(Pipeline, EffectiveOpsPerCycleBelowIdeal) {
+  // Ideal with II=1 and no overhead would be ops_per_item per cycle;
+  // fill latency and stalls push the effective rate below that.
+  PipelineSpec s = basic();
+  s.stall_per_item = 1.0;
+  const double eff = effective_ops_per_cycle(s, 1000);
+  EXPECT_LT(eff, s.ops_per_item);
+  EXPECT_GT(eff, 0.45 * s.ops_per_item);
+}
+
+TEST(Pipeline, EffectiveRateApproachesIdealForLargeBatches) {
+  PipelineSpec s = basic();
+  const double small = effective_ops_per_cycle(s, 20);
+  const double large = effective_ops_per_cycle(s, 200000);
+  EXPECT_LT(small, large);
+  EXPECT_NEAR(large, s.ops_per_item, 0.001 * s.ops_per_item);
+}
+
+TEST(Pipeline, Pdf1dCalibration) {
+  // The 1-D PDF design: 8 pipelines x 32 bins, 9 stall cycles per element,
+  // 64-cycle fill. 512 elements -> 21056 cycles -> 1.40E-4 s at 150 MHz,
+  // matching Table 3's measured 1.39E-4 within 1%.
+  PipelineSpec s;
+  s.name = "pdf1d";
+  s.depth = 64;
+  s.initiation_interval = 32.0;
+  s.stall_per_item = 9.0;
+  s.instances = 1;
+  s.ops_per_item = 768.0;
+  EXPECT_EQ(pipeline_cycles(s, 512), 512u * 41u + 64u);
+  const double t = static_cast<double>(pipeline_cycles(s, 512)) / 150e6;
+  EXPECT_NEAR(t, 1.39e-4, 0.02e-4);
+  // Effective throughput ~18.7 ops/cycle: below both the 24 ideal and the
+  // derated 20 the worksheet assumed.
+  const double eff = effective_ops_per_cycle(s, 512);
+  EXPECT_NEAR(eff, 18.7, 0.2);
+}
+
+TEST(Pipeline, Validation) {
+  PipelineSpec s = basic();
+  s.depth = 0;
+  EXPECT_THROW(pipeline_cycles(s, 1), std::invalid_argument);
+  s = basic();
+  s.initiation_interval = 0.5;
+  EXPECT_THROW(pipeline_cycles(s, 1), std::invalid_argument);
+  s = basic();
+  s.stall_per_item = -1.0;
+  EXPECT_THROW(pipeline_cycles(s, 1), std::invalid_argument);
+  s = basic();
+  s.instances = 0;
+  EXPECT_THROW(pipeline_cycles(s, 1), std::invalid_argument);
+  s = basic();
+  s.ops_per_item = 0.0;
+  EXPECT_THROW(pipeline_cycles(s, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rat::rcsim

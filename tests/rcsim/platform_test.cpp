@@ -1,0 +1,61 @@
+#include "rcsim/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rat::rcsim {
+namespace {
+
+TEST(Platform, NallatechBundle) {
+  const Platform p = nallatech_h101();
+  EXPECT_EQ(p.device.family, Family::kXilinxVirtex4);
+  EXPECT_DOUBLE_EQ(p.link.documented_bw(), 1e9);
+  EXPECT_GT(p.host_sync_sec, 0.0);
+  ASSERT_EQ(p.candidate_clocks_hz.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.candidate_clocks_hz[0], 75e6);
+  EXPECT_DOUBLE_EQ(p.candidate_clocks_hz[2], 150e6);
+}
+
+TEST(Platform, Xd1000Bundle) {
+  const Platform p = xd1000();
+  EXPECT_EQ(p.device.family, Family::kAlteraStratix2);
+  EXPECT_DOUBLE_EQ(p.link.documented_bw(), 5e8);
+  EXPECT_EQ(p.candidate_clocks_hz.size(), 3u);
+}
+
+TEST(Platform, GenericPcieBundle) {
+  const Platform p = generic_pcie_x4();
+  EXPECT_EQ(p.device.family, Family::kXilinxVirtex4);
+  EXPECT_DOUBLE_EQ(p.link.documented_bw(), 1e9);
+  // The PCIe stack beats the Nallatech PCI-X path at every size.
+  const Platform nalla = nallatech_h101();
+  for (std::size_t bytes : {512u, 2048u, 65536u, 1048576u}) {
+    EXPECT_GT(p.link.measured_alpha(bytes, Direction::kHostToFpga),
+              nalla.link.measured_alpha(bytes, Direction::kHostToFpga))
+        << bytes;
+    EXPECT_GT(p.link.measured_alpha(bytes, Direction::kFpgaToHost),
+              nalla.link.measured_alpha(bytes, Direction::kFpgaToHost))
+        << bytes;
+  }
+}
+
+TEST(Platform, LookupByName) {
+  EXPECT_EQ(platform_by_name("nallatech_h101").device.family,
+            Family::kXilinxVirtex4);
+  EXPECT_EQ(platform_by_name("xd1000").device.family,
+            Family::kAlteraStratix2);
+  EXPECT_EQ(platform_by_name("generic_pcie_x4").name,
+            "Generic PCIe x4 card");
+  EXPECT_THROW(platform_by_name("cray"), std::invalid_argument);
+}
+
+TEST(Platform, FillLimitsWithinRange) {
+  for (const auto& p : {nallatech_h101(), xd1000(), generic_pcie_x4()}) {
+    EXPECT_GT(p.practical_fill_limit, 0.0);
+    EXPECT_LE(p.practical_fill_limit, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rat::rcsim

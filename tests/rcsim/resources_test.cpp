@@ -1,0 +1,86 @@
+#include "rcsim/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rat::rcsim {
+namespace {
+
+TEST(ResourceUsage, Arithmetic) {
+  const ResourceUsage a{1, 2, 3};
+  const ResourceUsage b{10, 20, 30};
+  const ResourceUsage sum = a + b;
+  EXPECT_EQ(sum, (ResourceUsage{11, 22, 33}));
+  EXPECT_EQ(a * 4, (ResourceUsage{4, 8, 12}));
+}
+
+TEST(Utilization, Fractions) {
+  const DeviceResources avail{100, 200, 1000};
+  const auto rep = utilization(ResourceUsage{50, 20, 900}, avail);
+  EXPECT_DOUBLE_EQ(rep.dsp_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(rep.bram_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(rep.logic_fraction, 0.9);
+  EXPECT_DOUBLE_EQ(rep.max_fraction(), 0.9);
+  EXPECT_EQ(rep.binding_resource(), "logic");
+}
+
+TEST(Utilization, ZeroInventoryTreatedAsFullWhenUsed) {
+  const DeviceResources avail{0, 10, 10};
+  const auto used = utilization(ResourceUsage{1, 0, 0}, avail);
+  EXPECT_DOUBLE_EQ(used.dsp_fraction, 1.0);
+  const auto unused = utilization(ResourceUsage{0, 0, 0}, avail);
+  EXPECT_DOUBLE_EQ(unused.dsp_fraction, 0.0);
+}
+
+TEST(Utilization, BindingResourcePreference) {
+  const DeviceResources avail{10, 10, 10};
+  EXPECT_EQ(utilization(ResourceUsage{9, 1, 1}, avail).binding_resource(),
+            "dsp");
+  EXPECT_EQ(utilization(ResourceUsage{1, 9, 1}, avail).binding_resource(),
+            "bram");
+}
+
+TEST(ResourceTracker, AccumulatesComponents) {
+  ResourceTracker t(DeviceResources{96, 240, 49152});
+  t.add("pipeline", ResourceUsage{8, 0, 3200});
+  t.add("buffers", ResourceUsage{0, 33, 900});
+  EXPECT_EQ(t.total(), (ResourceUsage{8, 33, 4100}));
+  EXPECT_EQ(t.components().size(), 2u);
+  EXPECT_EQ(t.components()[0].name, "pipeline");
+  EXPECT_TRUE(t.feasible());
+}
+
+TEST(ResourceTracker, InfeasibleWhenDspOverflows) {
+  ResourceTracker t(DeviceResources{96, 240, 49152});
+  t.add("too many MACs", ResourceUsage{97, 0, 0});
+  EXPECT_FALSE(t.feasible());
+}
+
+TEST(ResourceTracker, DspAndBramMayFillCompletely) {
+  ResourceTracker t(DeviceResources{96, 240, 49152}, 0.9);
+  t.add("full DSP+BRAM", ResourceUsage{96, 240, 0});
+  EXPECT_TRUE(t.feasible());
+}
+
+TEST(ResourceTracker, LogicBoundByPracticalFillLimit) {
+  // Paper §3.3: routing strain makes filling all logic unwise.
+  ResourceTracker t(DeviceResources{96, 240, 1000}, 0.9);
+  t.add("logic", ResourceUsage{0, 0, 901});
+  EXPECT_FALSE(t.feasible());
+  ResourceTracker t2(DeviceResources{96, 240, 1000}, 0.9);
+  t2.add("logic", ResourceUsage{0, 0, 900});
+  EXPECT_TRUE(t2.feasible());
+}
+
+TEST(ResourceTracker, RejectsInvalidInputs) {
+  EXPECT_THROW(ResourceTracker(DeviceResources{}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ResourceTracker(DeviceResources{}, 1.5),
+               std::invalid_argument);
+  ResourceTracker t(DeviceResources{1, 1, 1});
+  EXPECT_THROW(t.add("neg", ResourceUsage{-1, 0, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rat::rcsim

@@ -1,0 +1,137 @@
+#include "rcsim/staged_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/composition.hpp"
+#include "core/units.hpp"
+
+namespace rat::rcsim {
+namespace {
+
+Link clean_link() {
+  return Link("clean", 1e9, LinkDirection{0.0, 1e9, 0.0},
+              LinkDirection{0.0, 1e9, 0.0});
+}
+
+ExecutionConfig config(double fclock = 1e6, double sync = 0.0) {
+  ExecutionConfig c;
+  c.fclock_hz = fclock;
+  c.host_sync_sec = sync;
+  return c;
+}
+
+StagedWorkload two_stage(std::size_t iters = 5) {
+  StagedWorkload w;
+  w.stages = {StageWorkload{1000, 500, 100, false},
+              StageWorkload{500, 1000, 200, false}};
+  w.n_iterations = iters;
+  return w;
+}
+
+TEST(StagedExecutor, Validation) {
+  const Link link = clean_link();
+  StagedWorkload empty;
+  empty.n_iterations = 1;
+  EXPECT_THROW(execute_staged(empty, link, config()), std::invalid_argument);
+  StagedWorkload zero_iters = two_stage(5);
+  zero_iters.n_iterations = 0;
+  EXPECT_THROW(execute_staged(zero_iters, link, config()),
+               std::invalid_argument);
+  StagedWorkload bad_final = two_stage();
+  bad_final.stages.back().handoff_on_chip = true;
+  EXPECT_THROW(execute_staged(bad_final, link, config()),
+               std::invalid_argument);
+  EXPECT_THROW(execute_staged(two_stage(), link, config(0.0)),
+               std::invalid_argument);
+}
+
+TEST(StagedExecutor, SerialTotals) {
+  const auto r = execute_staged(two_stage(5), clean_link(), config());
+  // Per iteration: in 1us + comp 100us + out 0.5us + in 0.5us + comp
+  // 200us + out 1us.
+  EXPECT_NEAR(r.t_comm_sec, 5 * 3e-6, 1e-12);
+  EXPECT_NEAR(r.t_comp_sec, 5 * 3e-4, 1e-12);
+  EXPECT_NEAR(r.t_total_sec, r.t_comm_sec + r.t_comp_sec, 1e-12);
+  EXPECT_TRUE(r.timeline.lanes_consistent());
+}
+
+TEST(StagedExecutor, OnChipHandoffSkipsBusCrossings) {
+  StagedWorkload w = two_stage(5);
+  w.stages[0].handoff_on_chip = true;
+  const auto r = execute_staged(w, clean_link(), config());
+  // Stage 0's output (0.5us) and stage 1's input (0.5us) disappear.
+  EXPECT_NEAR(r.t_comm_sec, 5 * 2e-6, 1e-12);
+  EXPECT_NEAR(r.t_comp_sec, 5 * 3e-4, 1e-12);
+}
+
+TEST(StagedExecutor, SyncChargedOncePerIteration) {
+  const auto base = execute_staged(two_stage(4), clean_link(), config());
+  const auto synced =
+      execute_staged(two_stage(4), clean_link(), config(1e6, 1e-5));
+  EXPECT_NEAR(synced.t_total_sec, base.t_total_sec + 4e-5, 1e-12);
+  EXPECT_NEAR(synced.t_sync_sec, 4e-5, 1e-15);
+}
+
+TEST(StagedExecutor, MatchesCompositePredictionOnIdealBus) {
+  // With a zero-overhead bus, the simulated schedule must equal the
+  // analytic sequential composition (predict_composite) exactly.
+  core::StageSpec a;
+  a.inputs.name = "a";
+  a.inputs.dataset = {512, 256, 4.0};
+  a.inputs.comm = {1e9, 1.0, 1.0};
+  a.inputs.comp = {100.0, 10.0, {core::mhz(100)}};
+  a.inputs.software = {1.0, 50};
+  a.fclock_hz = core::mhz(100);
+  core::StageSpec b = a;
+  b.inputs.name = "b";
+  b.inputs.comp.ops_per_element = 300.0;
+
+  const auto analytic =
+      core::predict_composite({a, b}, core::CompositionMode::kSequential);
+
+  StagedWorkload w;
+  auto cycles = [](const core::StageSpec& s) {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(s.inputs.dataset.elements_in) *
+        s.inputs.comp.ops_per_element /
+        s.inputs.comp.throughput_ops_per_cycle);
+  };
+  w.stages = {
+      StageWorkload{512 * 4, 256 * 4, cycles(a), false},
+      StageWorkload{512 * 4, 256 * 4, cycles(b), false},
+  };
+  w.n_iterations = 50;
+  const auto sim =
+      execute_staged(w, clean_link(), config(core::mhz(100)));
+  EXPECT_NEAR(sim.t_total_sec, analytic.t_total_sec,
+              1e-9 * analytic.t_total_sec);
+}
+
+TEST(StagedExecutor, TimelineEventCounts) {
+  StagedWorkload w = two_stage(3);
+  w.stages[0].handoff_on_chip = true;
+  const auto r = execute_staged(w, clean_link(), config());
+  std::size_t inputs = 0, outputs = 0, computes = 0;
+  for (const auto& e : r.timeline.events()) {
+    if (e.kind == EventKind::kInputTransfer) ++inputs;
+    if (e.kind == EventKind::kOutputTransfer) ++outputs;
+    if (e.kind == EventKind::kCompute) ++computes;
+  }
+  EXPECT_EQ(computes, 6u);
+  EXPECT_EQ(inputs, 3u);   // stage 1's input suppressed by hand-off
+  EXPECT_EQ(outputs, 3u);  // stage 0's output suppressed
+}
+
+TEST(StagedExecutor, ZeroByteTransfersProduceNoEvents) {
+  StagedWorkload w;
+  w.stages = {StageWorkload{0, 100, 50, false}};
+  w.n_iterations = 2;
+  const auto r = execute_staged(w, clean_link(), config());
+  for (const auto& e : r.timeline.events())
+    EXPECT_NE(e.kind, EventKind::kInputTransfer);
+}
+
+}  // namespace
+}  // namespace rat::rcsim

@@ -1,0 +1,67 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rat::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+  const Cli cli = make({"--clock=150", "--verbose", "positional"});
+  EXPECT_EQ(cli.program(), "prog");
+  EXPECT_TRUE(cli.has("clock"));
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("missing"));
+  EXPECT_EQ(cli.get("clock").value(), "150");
+  EXPECT_EQ(cli.get("verbose").value(), "true");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(Cli, TypedAccessors) {
+  const Cli cli = make({"--f=1.5", "--n=42", "--flag=false"});
+  EXPECT_DOUBLE_EQ(cli.get_double("f", 0.0), 1.5);
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+  EXPECT_FALSE(cli.get_bool("flag", true));
+  // Fallbacks when absent.
+  EXPECT_DOUBLE_EQ(cli.get_double("absent", 2.5), 2.5);
+  EXPECT_EQ(cli.get_int("absent", 7), 7);
+  EXPECT_TRUE(cli.get_bool("absent", true));
+}
+
+TEST(Cli, TypedAccessorErrors) {
+  const Cli cli = make({"--f=abc", "--n=1.5", "--b=maybe"});
+  EXPECT_THROW(cli.get_double("f", 0.0), std::invalid_argument);
+  EXPECT_THROW(cli.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Cli, BooleanSpellings) {
+  const Cli cli = make({"--a=1", "--b=yes", "--c=0", "--d=no"});
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_TRUE(cli.get_bool("b", false));
+  EXPECT_FALSE(cli.get_bool("c", true));
+  EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+TEST(Cli, KeysListsAllFlags) {
+  const Cli cli = make({"--one=1", "--two"});
+  const auto keys = cli.keys();
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(Cli, EmptyArgv) {
+  const Cli cli(0, nullptr);
+  EXPECT_TRUE(cli.positional().empty());
+  EXPECT_TRUE(cli.keys().empty());
+}
+
+}  // namespace
+}  // namespace rat::util

@@ -1,0 +1,92 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rat::util {
+namespace {
+
+TEST(Histogram, RejectsBadInputs) {
+  const std::vector<double> none;
+  EXPECT_THROW(ascii_histogram(none), std::invalid_argument);
+  const std::vector<double> some{1.0};
+  HistogramOptions zero_bins;
+  zero_bins.n_bins = 0;
+  EXPECT_THROW(ascii_histogram(some, zero_bins), std::invalid_argument);
+  HistogramOptions zero_width;
+  zero_width.max_bar_width = 0;
+  EXPECT_THROW(ascii_histogram(some, zero_width), std::invalid_argument);
+}
+
+TEST(Histogram, OneLinePerBin) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  HistogramOptions opt;
+  opt.n_bins = 8;
+  const std::string s = ascii_histogram(xs, opt);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 8);
+}
+
+TEST(Histogram, CountsSumToSampleCount) {
+  util::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  HistogramOptions opt;
+  opt.n_bins = 10;
+  const std::string s = ascii_histogram(xs, opt);
+  // Parse the trailing count of each line.
+  std::size_t total = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const auto eol = s.find('\n', pos);
+    const auto line = s.substr(pos, eol - pos);
+    const auto space = line.rfind(' ');
+    total += std::stoul(line.substr(space + 1));
+    pos = eol + 1;
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(Histogram, PeakBinHasWidestBar) {
+  // Strongly peaked data: the modal bin's bar must hit max width.
+  std::vector<double> xs(900, 5.0);
+  for (int i = 0; i < 100; ++i) xs.push_back(0.0 + i * 0.1);
+  HistogramOptions opt;
+  opt.n_bins = 10;
+  opt.max_bar_width = 30;
+  opt.lo = 0.0;
+  opt.hi = 10.0;
+  const std::string s = ascii_histogram(xs, opt);
+  EXPECT_NE(s.find(std::string(30, '#')), std::string::npos);
+}
+
+TEST(Histogram, SingleValuedDataDoesNotCrash) {
+  const std::vector<double> xs(50, 7.0);
+  EXPECT_NO_THROW(ascii_histogram(xs));
+  const std::string s = ascii_histogram(xs);
+  EXPECT_NE(s.find("50"), std::string::npos);
+}
+
+TEST(Histogram, FixedRangeClampsOutliers) {
+  const std::vector<double> xs{-100.0, 0.5, 0.5, 200.0};
+  HistogramOptions opt;
+  opt.n_bins = 4;
+  opt.lo = 0.0;
+  opt.hi = 1.0;
+  // All samples land in some bin (outliers clamp to the edge bins).
+  const std::string s = ascii_histogram(xs, opt);
+  std::size_t total = 0, pos = 0;
+  while (pos < s.size()) {
+    const auto eol = s.find('\n', pos);
+    const auto line = s.substr(pos, eol - pos);
+    total += std::stoul(line.substr(line.rfind(' ') + 1));
+    pos = eol + 1;
+  }
+  EXPECT_EQ(total, 4u);
+}
+
+}  // namespace
+}  // namespace rat::util

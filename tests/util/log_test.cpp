@@ -1,0 +1,62 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rat::util {
+namespace {
+
+/// Restores the global log level around each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+TEST_F(LogTest, DefaultLevelIsInfo) {
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+TEST_F(LogTest, SetAndGetRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LogTest, EmitBelowThresholdIsSilent) {
+  set_log_level(LogLevel::kError);
+  // Captures stderr around suppressed and emitted messages.
+  testing::internal::CaptureStderr();
+  log_debug("invisible ", 1);
+  log_info("invisible ", 2);
+  log_warn("invisible ", 3);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+  testing::internal::CaptureStderr();
+  log_error("visible ", 42);
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[error] visible 42"), std::string::npos);
+}
+
+TEST_F(LogTest, ConcatenatesHeterogeneousArguments) {
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  log_info("x=", 1.5, " n=", 7, " s=", std::string("ok"));
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[info] x=1.5 n=7 s=ok"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelNamesInPrefix) {
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  log_debug("d");
+  log_warn("w");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[debug] d"), std::string::npos);
+  EXPECT_NE(out.find("[warn] w"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rat::util

@@ -1,0 +1,91 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rat::util {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {1.0, 2.0, 3.0}) s.add(offset + x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-6);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(SpanHelpers, Basics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 4.0);
+}
+
+TEST(SpanHelpers, EmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(min_of(empty), std::invalid_argument);
+  EXPECT_THROW(max_of(empty), std::invalid_argument);
+}
+
+TEST(PercentError, SignedDirection) {
+  // Predicted 10.6, measured 7.8 (Table 3): ~-26% over-prediction.
+  EXPECT_NEAR(percent_error(10.6, 7.8), -26.415, 1e-2);
+  EXPECT_NEAR(percent_error(2.0, 4.0), 100.0, 1e-12);
+  EXPECT_THROW(percent_error(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(SameOrderOfMagnitude, PaperJudgement) {
+  // MD: predicted tcomp 5.37E-1 vs actual 8.79E-1 — "same order".
+  EXPECT_TRUE(same_order_of_magnitude(5.37e-1, 8.79e-1));
+  EXPECT_TRUE(same_order_of_magnitude(1.0, 9.99));
+  EXPECT_FALSE(same_order_of_magnitude(1.0, 10.01));
+  EXPECT_FALSE(same_order_of_magnitude(1.0, 0.0999));
+  EXPECT_FALSE(same_order_of_magnitude(-1.0, 1.0));
+  EXPECT_FALSE(same_order_of_magnitude(1.0, 0.0));
+}
+
+TEST(Rmse, KnownValues) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(a, b), 0.0);
+  const std::vector<double> c{2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(a, c), 1.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, c), 1.0);
+}
+
+TEST(Rmse, MismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(rmse(a, b), std::invalid_argument);
+  EXPECT_THROW(max_abs_diff(a, b), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW(rmse(empty, empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rat::util

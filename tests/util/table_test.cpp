@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rat::util {
+namespace {
+
+Table sample() {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "0.37"});
+  t.add_row({"beta", "0.16"});
+  return t;
+}
+
+TEST(Table, RejectsEmptyHeaderAndBadRows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, CellAccess) {
+  Table t = sample();
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.cell(0, 0), "alpha");
+  EXPECT_EQ(t.cell(1, 1), "0.16");
+  EXPECT_THROW(t.cell(2, 0), std::out_of_range);
+  EXPECT_THROW(t.cell(0, 5), std::out_of_range);
+}
+
+TEST(Table, SeparatorSkippedInRowCount) {
+  Table t = sample();
+  t.add_separator();
+  t.add_row({"gamma", "1.0"});
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.cell(2, 0), "gamma");
+}
+
+TEST(Table, AsciiContainsAlignedCells) {
+  const std::string s = sample().to_ascii();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| alpha "), std::string::npos);
+  EXPECT_NE(s.find("+------"), std::string::npos);
+}
+
+TEST(Table, MarkdownShape) {
+  const std::string s = sample().to_markdown();
+  EXPECT_NE(s.find("| name | value |"), std::string::npos);
+  EXPECT_NE(s.find("|---|---|"), std::string::npos);
+  EXPECT_NE(s.find("| beta | 0.16 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"k", "v"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "quote\"inside"});
+  const std::string s = t.to_csv();
+  EXPECT_NE(s.find("k,v\n"), std::string::npos);
+  EXPECT_NE(s.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(s.find("\"with,comma\",\"quote\"\"inside\"\n"), std::string::npos);
+}
+
+TEST(Table, CsvRowsMatchDataRows) {
+  Table t = sample();
+  t.add_separator();  // separators must not appear in CSV
+  const std::string s = t.to_csv();
+  std::size_t lines = 0;
+  for (char c : s)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 3u);  // header + 2 data rows
+}
+
+}  // namespace
+}  // namespace rat::util
