@@ -1,0 +1,180 @@
+// Serial-vs-N-thread throughput of the parallel evaluation engine on the
+// two heaviest explorer loops: a 10,000-point design-space sweep (every
+// candidate runs the throughput + precision tests) and a 100,000-sample
+// Monte-Carlo band. Run with --benchmark_format=json (or --benchmark_out)
+// for the machine-readable trajectory; the printed report shows the
+// speedup-vs-threads curve directly. Results are thread-count-invariant by
+// construction (see docs/PARALLELISM.md), so every configuration computes
+// the identical outcome — only the wall clock should move.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/designspace.hpp"
+#include "core/montecarlo.hpp"
+#include "core/units.hpp"
+#include "fixedpoint/fixed.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rat;
+
+// ---- 10k-point design space ----------------------------------------------
+// 25 parallelism values x 20 clocks x 20 widths = 10,000 points. The goal
+// is reachable at the throughput gate but the precision tolerance is not,
+// so every candidate runs its full format sweep before being rejected:
+// both the serial and parallel runs evaluate the entire space.
+
+core::DesignAxes big_axes() {
+  core::DesignAxes axes;
+  axes.parallelism.clear();
+  for (std::size_t p = 1; p <= 25; ++p) axes.parallelism.push_back(p);
+  axes.fclock_hz.clear();
+  for (int i = 0; i < 20; ++i) axes.fclock_hz.push_back(core::mhz(75 + 5 * i));
+  axes.format_bits.clear();
+  for (int b = 12; b < 32; ++b) axes.format_bits.push_back(b);
+  return axes;
+}
+
+/// Shared read-only precision dataset (quantization kernel is thread-safe).
+const std::vector<double>& reference_data() {
+  static const std::vector<double> data = [] {
+    util::Rng rng(404);
+    std::vector<double> d(256);
+    for (auto& x : d) x = rng.uniform(0.0, 0.95);
+    return d;
+  }();
+  return data;
+}
+
+core::CandidateFactory heavy_factory() {
+  return [](const core::DesignPoint& p)
+             -> std::optional<core::DesignCandidate> {
+    core::DesignCandidate c;
+    c.inputs = core::pdf1d_inputs();
+    c.inputs.name = p.label();
+    c.inputs.comp.throughput_ops_per_cycle =
+        2.5 * static_cast<double>(p.parallelism);
+    c.precision_reference = reference_data();
+    c.precision_kernel = [](fx::Format fmt) {
+      const auto& ref = reference_data();
+      std::vector<double> out;
+      out.reserve(ref.size());
+      for (double x : ref)
+        out.push_back(fx::Fixed::from_double(x, fmt).to_double());
+      return out;
+    };
+    c.resources = {core::ResourceItem{"units", 1, p.format_bits, 0, 400,
+                                      static_cast<int>(p.parallelism)}};
+    return c;
+  };
+}
+
+core::Requirements exhaustive_requirements() {
+  core::Requirements req;
+  req.min_speedup = 0.001;  // throughput gate always passes...
+  // ...and the precision tolerance never does: every point runs the full
+  // 12-20 bit sweep, so the whole 10k-point space is evaluated. The sweep
+  // stays serial per candidate (kernel_thread_safe=false) so the measured
+  // scaling isolates the candidate-level parallelism.
+  req.precision = core::PrecisionRequirements{1e-9, 12, 20, 0};
+  return req;
+}
+
+core::DesignSpaceResult run_design_space(std::size_t threads) {
+  return core::explore_design_space(big_axes(), heavy_factory(),
+                                    exhaustive_requirements(),
+                                    rcsim::virtex4_lx100(), threads);
+}
+
+void BM_DesignSpace10k(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::size_t points = 0;
+  for (auto _ : state) {
+    const auto r = run_design_space(threads);
+    points = r.points_total;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["points"] = static_cast<double>(points);
+  state.SetItemsProcessed(static_cast<std::int64_t>(points) *
+                          state.iterations());
+}
+BENCHMARK(BM_DesignSpace10k)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---- 100k-sample Monte-Carlo ---------------------------------------------
+
+core::MonteCarloResult run_mc(std::size_t threads) {
+  const core::RatInputs in = core::md_inputs();
+  const auto model = core::UncertaintyModel::typical(in);
+  return core::run_monte_carlo(in, model, 100'000, 10.0, 1234, threads);
+}
+
+void BM_MonteCarlo100k(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto r = run_mc(threads);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetItemsProcessed(100'000 * state.iterations());
+}
+BENCHMARK(BM_MonteCarlo100k)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---- speedup report --------------------------------------------------------
+
+template <typename Fn>
+double wall_seconds(const Fn& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void print_report() {
+  std::printf("\nParallel scaling: serial vs N threads (identical results "
+              "at every thread count)\n\n");
+  std::printf("%-28s %8s %10s %9s\n", "workload", "threads", "wall [s]",
+              "speedup");
+  const double ds_serial = wall_seconds([] { run_design_space(1); });
+  std::printf("%-28s %8d %10.3f %8.2fx\n", "design space, 10k points", 1,
+              ds_serial, 1.0);
+  for (std::size_t t : {2, 4, 8}) {
+    const double s = wall_seconds([t] { run_design_space(t); });
+    std::printf("%-28s %8zu %10.3f %8.2fx\n", "design space, 10k points", t,
+                s, ds_serial / s);
+  }
+  const double mc_serial = wall_seconds([] { run_mc(1); });
+  std::printf("%-28s %8d %10.3f %8.2fx\n", "Monte-Carlo, 100k samples", 1,
+              mc_serial, 1.0);
+  for (std::size_t t : {2, 4, 8}) {
+    const double s = wall_seconds([t] { run_mc(t); });
+    std::printf("%-28s %8zu %10.3f %8.2fx\n", "Monte-Carlo, 100k samples", t,
+                s, mc_serial / s);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_report();
+  return 0;
+}

@@ -8,7 +8,9 @@
 // the first permutation that passes the throughput, precision and
 // resource tests.
 //
-// Usage: design_space_exploration [--goal=9] [--tolerance=2.0]
+// Usage: design_space_exploration [--goal=9] [--tolerance=2.0] [--threads=N]
+//   --threads=0 sizes the worker count automatically (RAT_THREADS override
+//   or hardware concurrency); the outcome is identical at any thread count.
 #include <cstdio>
 
 #include "apps/pdf1d.hpp"
@@ -22,6 +24,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const double goal = cli.get_double("goal", 9.0);
   const double tolerance = cli.get_double("tolerance", 2.0);
+  const std::size_t threads = cli.get_size_t("threads", 1, 0, 256);
 
   // Shared precision artifacts (numeric behaviour depends on the format,
   // not on the pipeline count).
@@ -58,7 +61,7 @@ int main(int argc, char** argv) {
   req.min_speedup = goal;
   req.precision = core::PrecisionRequirements{tolerance, 12, 20, 0};
   const auto result = core::explore_design_space(
-      axes, factory, req, rcsim::virtex4_lx100());
+      axes, factory, req, rcsim::virtex4_lx100(), threads);
 
   std::printf("explored %zu of %zu permutations (%zu skipped) against a "
               "%.1fx goal:\n\n%s\n",

@@ -14,4 +14,14 @@ for b in build/bench/bench_*; do
   "$b" --benchmark_min_time=0.05s
 done
 
+# ThreadSanitizer pass over the parallel evaluation engine: a separate
+# build tree with -DRAT_SANITIZE=thread, building and running only the
+# thread-pool + determinism tests (the -R patterns match exactly the
+# suites in test_parallel).
+echo "==== ThreadSanitizer pass (parallel tests)"
+cmake -B build-tsan -G Ninja -DRAT_SANITIZE=thread
+cmake --build build-tsan --target test_parallel
+ctest --test-dir build-tsan --output-on-failure \
+  -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism)'
+
 echo "ALL CHECKS PASSED"

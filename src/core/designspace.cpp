@@ -27,7 +27,8 @@ void DesignAxes::validate() const {
 }
 
 std::vector<DesignCandidate> enumerate_design_space(
-    const DesignAxes& axes, const CandidateFactory& factory) {
+    const DesignAxes& axes, const CandidateFactory& factory,
+    std::vector<std::string>* skipped_labels) {
   axes.validate();
   if (!factory)
     throw std::invalid_argument("enumerate_design_space: null factory");
@@ -37,7 +38,10 @@ std::vector<DesignCandidate> enumerate_design_space(
       for (int bits : axes.format_bits) {
         DesignPoint point{p, f, bits};
         auto cand = factory(point);
-        if (!cand) continue;
+        if (!cand) {
+          if (skipped_labels) skipped_labels->push_back(point.label());
+          continue;
+        }
         if (cand->inputs.name.empty()) cand->inputs.name = point.label();
         cand->decision_clock_hz = f;
         out.push_back(std::move(*cand));
@@ -50,15 +54,17 @@ std::vector<DesignCandidate> enumerate_design_space(
 DesignSpaceResult explore_design_space(const DesignAxes& axes,
                                        const CandidateFactory& factory,
                                        const Requirements& requirements,
-                                       const rcsim::Device& device) {
+                                       const rcsim::Device& device,
+                                       std::size_t n_threads) {
   DesignSpaceResult result;
   result.points_total = axes.size();
-  auto candidates = enumerate_design_space(axes, factory);
-  result.points_skipped = result.points_total - candidates.size();
+  auto candidates =
+      enumerate_design_space(axes, factory, &result.skipped_labels);
+  result.points_skipped = result.skipped_labels.size();
   if (candidates.empty())
     throw std::invalid_argument(
         "explore_design_space: factory skipped every point");
-  result.outcome = run_methodology(candidates, requirements, device);
+  result.outcome = run_methodology(candidates, requirements, device, n_threads);
   return result;
 }
 

@@ -45,23 +45,34 @@ using CandidateFactory =
     std::function<std::optional<DesignCandidate>(const DesignPoint&)>;
 
 /// Enumerate the cartesian product, cheapest first: ordered by
-/// parallelism, then clock, then format width (ascending). Skipped points
-/// are dropped silently; the returned order is the evaluation order for
-/// run_methodology.
+/// parallelism, then clock, then format width (ascending). Points skipped
+/// by the factory have their labels appended to @p skipped_labels (in
+/// enumeration order) when it is non-null; the returned order is the
+/// evaluation order for run_methodology.
 std::vector<DesignCandidate> enumerate_design_space(
-    const DesignAxes& axes, const CandidateFactory& factory);
+    const DesignAxes& axes, const CandidateFactory& factory,
+    std::vector<std::string>* skipped_labels = nullptr);
 
-/// Convenience: enumerate + run the methodology, returning the outcome and
-/// the number of points skipped by the factory.
+/// Convenience: enumerate + run the methodology, returning the outcome
+/// plus exactly which points the factory skipped — so parallel and serial
+/// runs can assert identical coverage.
 struct DesignSpaceResult {
   MethodologyOutcome outcome;
   std::size_t points_total = 0;
   std::size_t points_skipped = 0;
+  /// Labels of the skipped points, in enumeration order
+  /// (size() == points_skipped).
+  std::vector<std::string> skipped_labels;
 };
 
+/// @p n_threads > 1 (or 0 = auto) evaluates the enumerated candidates
+/// concurrently; results are merged in enumeration order, so the outcome
+/// (cheapest passing design, trace, predictions) is byte-identical to the
+/// serial run. Factories and precision kernels must then be thread-safe.
 DesignSpaceResult explore_design_space(const DesignAxes& axes,
                                        const CandidateFactory& factory,
                                        const Requirements& requirements,
-                                       const rcsim::Device& device);
+                                       const rcsim::Device& device,
+                                       std::size_t n_threads = 1);
 
 }  // namespace rat::core

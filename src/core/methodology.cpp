@@ -1,9 +1,11 @@
 #include "core/methodology.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/format.hpp"
+#include "util/parallel_for.hpp"
 
 namespace rat::core {
 
@@ -34,98 +36,153 @@ std::string MethodologyOutcome::render_trace() const {
   return os.str();
 }
 
+namespace {
+
+/// Everything one candidate contributes to the outcome, computed without
+/// touching shared state so candidates can be evaluated on any thread.
+struct CandidateEvaluation {
+  std::vector<TraceEntry> trace;
+  ThroughputPrediction prediction;
+  bool passed = false;
+  RejectReason reject = RejectReason::kNone;
+};
+
+CandidateEvaluation evaluate_candidate(std::size_t i,
+                                       const DesignCandidate& cand,
+                                       const Requirements& req,
+                                       const rcsim::Device& device) {
+  CandidateEvaluation ev;
+  const std::string& name = cand.inputs.name;
+
+  // --- Throughput test -------------------------------------------------
+  const ThroughputPrediction pred =
+      predict(cand.inputs, cand.decision_clock_hz);
+  ev.prediction = pred;
+  const double speedup =
+      req.double_buffered ? pred.speedup_db : pred.speedup_sb;
+  const bool tp_ok = speedup >= req.min_speedup;
+  ev.trace.push_back(
+      {i, name, Step::kThroughputTest, tp_ok,
+       "predicted speedup " + util::fixed(speedup, 1) + " vs required " +
+           util::fixed(req.min_speedup, 1)});
+  if (!tp_ok) {
+    ev.reject = RejectReason::kInsufficientThroughput;
+    ev.trace.push_back({i, name, Step::kRejected, false,
+                        "insufficient comm. or comp. throughput"});
+    return ev;
+  }
+
+  // --- Precision test ---------------------------------------------------
+  if (req.precision) {
+    if (!cand.precision_kernel)
+      throw std::invalid_argument(
+          "run_methodology: precision requested but candidate '" + name +
+          "' has no precision kernel");
+    const PrecisionResult pr = run_precision_test(
+        cand.precision_kernel, cand.precision_reference, *req.precision);
+    ev.trace.push_back(
+        {i, name, Step::kPrecisionTest, pr.satisfied,
+         pr.satisfied
+             ? "minimum precision " + pr.choice->format.to_string() +
+                   " (max err " +
+                   util::fixed(pr.choice->report.max_error_percent, 2) + "%)"
+             : "no format within tolerance"});
+    if (!pr.satisfied) {
+      ev.reject = RejectReason::kUnrealizablePrecision;
+      ev.trace.push_back({i, name, Step::kRejected, false,
+                          "unrealizable precision requirement"});
+      return ev;
+    }
+  }
+
+  // --- Resource test ----------------------------------------------------
+  const ResourceTestResult rr =
+      run_resource_test(cand.resources, device, req.practical_fill_limit);
+  ev.trace.push_back(
+      {i, name, Step::kResourceTest, rr.feasible,
+       "binding resource " + rr.utilization.binding_resource() + " at " +
+           util::percent(rr.utilization.max_fraction())});
+  if (!rr.feasible) {
+    ev.reject = RejectReason::kInsufficientResources;
+    ev.trace.push_back(
+        {i, name, Step::kRejected, false, "insufficient resources"});
+    return ev;
+  }
+
+  // --- Power test (optional extension gate) ------------------------------
+  if (req.min_energy_ratio) {
+    const PowerEstimate pe =
+        estimate_power(rr.usage, pred, cand.inputs.software.tsoft_sec,
+                       req.power_model, req.host_power_model);
+    const bool power_ok = pe.energy_ratio >= *req.min_energy_ratio;
+    ev.trace.push_back(
+        {i, name, Step::kPowerTest, power_ok,
+         "energy ratio " + util::fixed(pe.energy_ratio, 1) +
+             "x vs required " + util::fixed(*req.min_energy_ratio, 1) +
+             "x (" + util::fixed(pe.fpga_watts, 1) + " W FPGA)"});
+    if (!power_ok) {
+      ev.reject = RejectReason::kInsufficientEnergySavings;
+      ev.trace.push_back({i, name, Step::kRejected, false,
+                          "insufficient energy savings"});
+      return ev;
+    }
+  }
+
+  ev.passed = true;
+  ev.trace.push_back({i, name, Step::kProceed, true,
+                      "build in HDL/HLL, verify on HW platform"});
+  return ev;
+}
+
+}  // namespace
+
 MethodologyOutcome run_methodology(
     const std::vector<DesignCandidate>& candidates, const Requirements& req,
-    const rcsim::Device& device) {
+    const rcsim::Device& device, std::size_t n_threads) {
   if (candidates.empty())
     throw std::invalid_argument("run_methodology: no candidates");
   if (req.min_speedup <= 0.0)
     throw std::invalid_argument("run_methodology: min_speedup <= 0");
 
   MethodologyOutcome out;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const auto& cand = candidates[i];
-    const std::string& name = cand.inputs.name;
-
-    // --- Throughput test -------------------------------------------------
-    const ThroughputPrediction pred =
-        predict(cand.inputs, cand.decision_clock_hz);
-    out.predictions.push_back(pred);
-    const double speedup =
-        req.double_buffered ? pred.speedup_db : pred.speedup_sb;
-    const bool tp_ok = speedup >= req.min_speedup;
-    out.trace.push_back(
-        {i, name, Step::kThroughputTest, tp_ok,
-         "predicted speedup " + util::fixed(speedup, 1) + " vs required " +
-             util::fixed(req.min_speedup, 1)});
-    if (!tp_ok) {
-      out.last_reject = RejectReason::kInsufficientThroughput;
-      out.trace.push_back({i, name, Step::kRejected, false,
-                           "insufficient comm. or comp. throughput"});
-      continue;
+  // Append one candidate's results in enumeration order; true = accepted,
+  // which ends the run exactly like the serial early exit.
+  auto absorb = [&out](std::size_t i, CandidateEvaluation&& ev) {
+    for (auto& e : ev.trace) out.trace.push_back(std::move(e));
+    out.predictions.push_back(ev.prediction);
+    if (ev.passed) {
+      out.proceed = true;
+      out.accepted_index = i;
+      return true;
     }
+    out.last_reject = ev.reject;
+    return false;
+  };
 
-    // --- Precision test ---------------------------------------------------
-    if (req.precision) {
-      if (!cand.precision_kernel)
-        throw std::invalid_argument(
-            "run_methodology: precision requested but candidate '" + name +
-            "' has no precision kernel");
-      const PrecisionResult pr = run_precision_test(
-          cand.precision_kernel, cand.precision_reference, *req.precision);
-      out.trace.push_back(
-          {i, name, Step::kPrecisionTest, pr.satisfied,
-           pr.satisfied
-               ? "minimum precision " + pr.choice->format.to_string() +
-                     " (max err " +
-                     util::fixed(pr.choice->report.max_error_percent, 2) + "%)"
-               : "no format within tolerance"});
-      if (!pr.satisfied) {
-        out.last_reject = RejectReason::kUnrealizablePrecision;
-        out.trace.push_back({i, name, Step::kRejected, false,
-                             "unrealizable precision requirement"});
-        continue;
-      }
-    }
+  const std::size_t threads =
+      std::min(util::resolve_thread_count(n_threads), candidates.size());
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      if (absorb(i, evaluate_candidate(i, candidates[i], req, device)))
+        return out;
+    return out;  // all permutations exhausted without a satisfactory solution
+  }
 
-    // --- Resource test ----------------------------------------------------
-    const ResourceTestResult rr =
-        run_resource_test(cand.resources, device, req.practical_fill_limit);
-    out.trace.push_back(
-        {i, name, Step::kResourceTest, rr.feasible,
-         "binding resource " + rr.utilization.binding_resource() + " at " +
-             util::percent(rr.utilization.max_fraction())});
-    if (!rr.feasible) {
-      out.last_reject = RejectReason::kInsufficientResources;
-      out.trace.push_back(
-          {i, name, Step::kRejected, false, "insufficient resources"});
-      continue;
-    }
-
-    // --- Power test (optional extension gate) ------------------------------
-    if (req.min_energy_ratio) {
-      const PowerEstimate pe =
-          estimate_power(rr.usage, pred, cand.inputs.software.tsoft_sec,
-                         req.power_model, req.host_power_model);
-      const bool power_ok = pe.energy_ratio >= *req.min_energy_ratio;
-      out.trace.push_back(
-          {i, name, Step::kPowerTest, power_ok,
-           "energy ratio " + util::fixed(pe.energy_ratio, 1) +
-               "x vs required " + util::fixed(*req.min_energy_ratio, 1) +
-               "x (" + util::fixed(pe.fpga_watts, 1) + " W FPGA)"});
-      if (!power_ok) {
-        out.last_reject = RejectReason::kInsufficientEnergySavings;
-        out.trace.push_back({i, name, Step::kRejected, false,
-                             "insufficient energy savings"});
-        continue;
-      }
-    }
-
-    out.proceed = true;
-    out.accepted_index = i;
-    out.trace.push_back({i, name, Step::kProceed, true,
-                         "build in HDL/HLL, verify on HW platform"});
-    return out;
+  // Evaluate in enumeration-order windows: wasted work past an accepted
+  // design is bounded by one window, and merging in order keeps the trace
+  // byte-identical to the serial run.
+  const std::size_t window = threads * 4;
+  for (std::size_t start = 0; start < candidates.size(); start += window) {
+    const std::size_t count = std::min(window, candidates.size() - start);
+    auto evals = util::parallel_map(
+        count,
+        [&](std::size_t k) {
+          return evaluate_candidate(start + k, candidates[start + k], req,
+                                    device);
+        },
+        threads);
+    for (std::size_t k = 0; k < count; ++k)
+      if (absorb(start + k, std::move(evals[k]))) return out;
   }
   return out;  // all permutations exhausted without a satisfactory solution
 }

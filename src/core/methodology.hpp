@@ -106,8 +106,17 @@ struct MethodologyOutcome {
 
 /// Evaluate candidates in order against the requirements on the device;
 /// stops at the first candidate that passes all applicable tests.
+///
+/// @p n_threads > 1 (or 0 = auto, i.e. util::default_thread_count())
+/// evaluates candidates concurrently in enumeration-order windows while
+/// producing a byte-identical outcome: the merged trace, predictions and
+/// accepted index match the serial run exactly, because candidates are
+/// independent and results are merged in order, truncated at the first
+/// passing design. Parallel runs require the candidates' precision
+/// kernels (when any) to be safe to call from different threads.
 MethodologyOutcome run_methodology(const std::vector<DesignCandidate>& candidates,
                                    const Requirements& req,
-                                   const rcsim::Device& device);
+                                   const rcsim::Device& device,
+                                   std::size_t n_threads = 1);
 
 }  // namespace rat::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/parallel_for.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -73,6 +74,55 @@ double draw(const InputDistribution& d, double point_value, util::Rng& rng) {
   throw std::logic_error("unreachable");
 }
 
+/// Chunk size for parallel sampling. Fixed (never derived from the thread
+/// count) so the overall sample sequence depends only on the seed: chunk c
+/// always covers samples [c*1024, (c+1)*1024) from stream `seed + c`.
+constexpr std::size_t kChunkSamples = 1024;
+
+/// Samples drawn by one chunk, merged in chunk order afterwards.
+struct SampleChunk {
+  std::vector<double> s_sb, s_db, t_rc, t_comm, t_comp;
+  std::size_t meets_goal = 0;
+};
+
+SampleChunk sample_chunk(const RatInputs& inputs,
+                         const UncertaintyModel& model, std::size_t count,
+                         double goal_speedup, std::uint64_t chunk_seed) {
+  util::Rng rng(chunk_seed);
+  SampleChunk chunk;
+  chunk.s_sb.reserve(count);
+  chunk.s_db.reserve(count);
+  chunk.t_rc.reserve(count);
+  chunk.t_comm.reserve(count);
+  chunk.t_comp.reserve(count);
+
+  const double base_clock = inputs.comp.fclock_hz.front();
+  for (std::size_t i = 0; i < count; ++i) {
+    RatInputs sample = inputs;
+    sample.comm.alpha_write =
+        std::min(1.0, draw(model.alpha_write, inputs.comm.alpha_write, rng));
+    sample.comm.alpha_read =
+        std::min(1.0, draw(model.alpha_read, inputs.comm.alpha_read, rng));
+    sample.comp.ops_per_element =
+        draw(model.ops_per_element, inputs.comp.ops_per_element, rng);
+    sample.comp.throughput_ops_per_cycle = draw(
+        model.throughput_proc, inputs.comp.throughput_ops_per_cycle, rng);
+    sample.software.tsoft_sec =
+        draw(model.tsoft_sec, inputs.software.tsoft_sec, rng);
+    const double fclock = draw(model.fclock_hz, base_clock, rng);
+
+    const ThroughputPrediction p = predict(sample, fclock);
+    chunk.s_sb.push_back(p.speedup_sb);
+    chunk.s_db.push_back(p.speedup_db);
+    chunk.t_rc.push_back(p.t_rc_sb_sec);
+    chunk.t_comm.push_back(p.t_comm_sec);
+    chunk.t_comp.push_back(p.t_comp_sec);
+    if (goal_speedup > 0.0 && p.speedup_sb >= goal_speedup)
+      ++chunk.meets_goal;
+  }
+  return chunk;
+}
+
 Percentiles percentiles_of(std::vector<double>& xs) {
   std::sort(xs.begin(), xs.end());
   auto at = [&](double q) {
@@ -95,10 +145,21 @@ Percentiles percentiles_of(std::vector<double>& xs) {
 MonteCarloResult run_monte_carlo(const RatInputs& inputs,
                                  const UncertaintyModel& model,
                                  std::size_t n, double goal_speedup,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed, std::size_t n_threads) {
   inputs.validate();
   if (n < 2) throw std::invalid_argument("run_monte_carlo: n < 2");
-  util::Rng rng(seed);
+
+  const std::size_t n_chunks = (n + kChunkSamples - 1) / kChunkSamples;
+  std::vector<SampleChunk> chunks(n_chunks);
+  util::parallel_for(
+      n_chunks,
+      [&](std::size_t c) {
+        const std::size_t lo = c * kChunkSamples;
+        const std::size_t count = std::min(kChunkSamples, n - lo);
+        chunks[c] = sample_chunk(inputs, model, count, goal_speedup,
+                                 seed + static_cast<std::uint64_t>(c));
+      },
+      n_threads);
 
   std::vector<double> s_sb, s_db, t_rc, t_comm, t_comp;
   s_sb.reserve(n);
@@ -106,30 +167,14 @@ MonteCarloResult run_monte_carlo(const RatInputs& inputs,
   t_rc.reserve(n);
   t_comm.reserve(n);
   t_comp.reserve(n);
-
   std::size_t meets_goal = 0;
-  const double base_clock = inputs.comp.fclock_hz.front();
-  for (std::size_t i = 0; i < n; ++i) {
-    RatInputs sample = inputs;
-    sample.comm.alpha_write =
-        std::min(1.0, draw(model.alpha_write, inputs.comm.alpha_write, rng));
-    sample.comm.alpha_read =
-        std::min(1.0, draw(model.alpha_read, inputs.comm.alpha_read, rng));
-    sample.comp.ops_per_element =
-        draw(model.ops_per_element, inputs.comp.ops_per_element, rng);
-    sample.comp.throughput_ops_per_cycle = draw(
-        model.throughput_proc, inputs.comp.throughput_ops_per_cycle, rng);
-    sample.software.tsoft_sec =
-        draw(model.tsoft_sec, inputs.software.tsoft_sec, rng);
-    const double fclock = draw(model.fclock_hz, base_clock, rng);
-
-    const ThroughputPrediction p = predict(sample, fclock);
-    s_sb.push_back(p.speedup_sb);
-    s_db.push_back(p.speedup_db);
-    t_rc.push_back(p.t_rc_sb_sec);
-    t_comm.push_back(p.t_comm_sec);
-    t_comp.push_back(p.t_comp_sec);
-    if (goal_speedup > 0.0 && p.speedup_sb >= goal_speedup) ++meets_goal;
+  for (auto& chunk : chunks) {
+    s_sb.insert(s_sb.end(), chunk.s_sb.begin(), chunk.s_sb.end());
+    s_db.insert(s_db.end(), chunk.s_db.begin(), chunk.s_db.end());
+    t_rc.insert(t_rc.end(), chunk.t_rc.begin(), chunk.t_rc.end());
+    t_comm.insert(t_comm.end(), chunk.t_comm.begin(), chunk.t_comm.end());
+    t_comp.insert(t_comp.end(), chunk.t_comp.begin(), chunk.t_comp.end());
+    meets_goal += chunk.meets_goal;
   }
 
   MonteCarloResult r;

@@ -78,10 +78,16 @@ struct MonteCarloResult {
 };
 
 /// Sample @p n predictions from the model. @p goal_speedup feeds
-/// probability_of_goal (pass 0 to skip). Deterministic per seed.
+/// probability_of_goal (pass 0 to skip). Deterministic per seed AND
+/// thread-count-invariant: samples are drawn in fixed 1024-sample chunks,
+/// chunk c from its own SplitMix64 stream seeded with `seed + c`, so the
+/// sample sequence depends only on the seed while chunks may run on any
+/// thread. @p n_threads 0 = auto (util::default_thread_count()), 1 =
+/// serial, else the requested worker count.
 MonteCarloResult run_monte_carlo(const RatInputs& inputs,
                                  const UncertaintyModel& model,
                                  std::size_t n, double goal_speedup,
-                                 std::uint64_t seed = 0xA11CE);
+                                 std::uint64_t seed = 0xA11CE,
+                                 std::size_t n_threads = 0);
 
 }  // namespace rat::core

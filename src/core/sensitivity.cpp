@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/parallel_for.hpp"
+
 namespace rat::core {
 
 namespace {
@@ -83,20 +85,21 @@ double speedup_upper_bound(const RatInputs& inputs, BufferingMode mode) {
 
 std::vector<ThroughputPrediction> sweep_parameter(
     const RatInputs& inputs, const ParamSetter& set,
-    const std::vector<double>& values, double fclock_hz) {
+    const std::vector<double>& values, double fclock_hz,
+    std::size_t n_threads) {
   if (!set) throw std::invalid_argument("sweep_parameter: null setter");
-  std::vector<ThroughputPrediction> out;
-  out.reserve(values.size());
-  for (double v : values) {
-    RatInputs mutated = inputs;
-    set(mutated, v);
-    out.push_back(predict(mutated, fclock_hz));
-  }
-  return out;
+  return util::parallel_map(
+      values.size(),
+      [&](std::size_t i) {
+        RatInputs mutated = inputs;
+        set(mutated, values[i]);
+        return predict(mutated, fclock_hz);
+      },
+      n_threads);
 }
 
 std::vector<TornadoEntry> tornado(const RatInputs& inputs, double fclock_hz,
-                                  double fraction) {
+                                  double fraction, std::size_t n_threads) {
   if (fraction <= 0.0 || fraction >= 1.0)
     throw std::invalid_argument("tornado: fraction outside (0,1)");
   struct Param {
@@ -129,19 +132,24 @@ std::vector<TornadoEntry> tornado(const RatInputs& inputs, double fclock_hz,
        inputs.dataset.bytes_per_element},
   };
 
-  std::vector<TornadoEntry> out;
-  for (const auto& p : params) {
-    RatInputs lo_in = inputs, hi_in = inputs;
-    p.set(lo_in, p.base * (1.0 - fraction));
-    p.set(hi_in, p.base * (1.0 + fraction));
-    const double s_lo = predict(lo_in, fclock_hz).speedup_sb;
-    const double s_hi = predict(hi_in, fclock_hz).speedup_sb;
-    TornadoEntry e;
-    e.parameter = p.name;
-    e.speedup_low = std::min(s_lo, s_hi);
-    e.speedup_high = std::max(s_lo, s_hi);
-    out.push_back(e);
-  }
+  // One task per axis; the pre-sort order matches the params table, so the
+  // sorted ranking is identical whatever the thread count.
+  auto out = util::parallel_map(
+      params.size(),
+      [&](std::size_t i) {
+        const auto& p = params[i];
+        RatInputs lo_in = inputs, hi_in = inputs;
+        p.set(lo_in, p.base * (1.0 - fraction));
+        p.set(hi_in, p.base * (1.0 + fraction));
+        const double s_lo = predict(lo_in, fclock_hz).speedup_sb;
+        const double s_hi = predict(hi_in, fclock_hz).speedup_sb;
+        TornadoEntry e;
+        e.parameter = p.name;
+        e.speedup_low = std::min(s_lo, s_hi);
+        e.speedup_high = std::max(s_lo, s_hi);
+        return e;
+      },
+      n_threads);
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.swing() > b.swing();
   });

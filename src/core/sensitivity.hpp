@@ -39,11 +39,17 @@ std::optional<double> solve_fclock(const RatInputs& inputs,
 double speedup_upper_bound(const RatInputs& inputs, BufferingMode mode);
 
 /// One-parameter sweep: mutate the worksheet with @p set for each value,
-/// predict at @p fclock_hz, return one prediction per value.
+/// predict at @p fclock_hz, return one prediction per value. Sweep points
+/// are independent and evaluated axis-parallel (@p n_threads 0 = auto,
+/// 1 = serial); the result order always matches @p values, so parallel
+/// and serial runs are identical. @p set is called on a private copy of
+/// the worksheet per point and must be safe to call concurrently (every
+/// plain field-assignment setter is).
 using ParamSetter = std::function<void(RatInputs&, double)>;
 std::vector<ThroughputPrediction> sweep_parameter(
     const RatInputs& inputs, const ParamSetter& set,
-    const std::vector<double>& values, double fclock_hz);
+    const std::vector<double>& values, double fclock_hz,
+    std::size_t n_threads = 0);
 
 /// Tornado analysis: perturb each parameter by +/- @p fraction and record
 /// the resulting single-buffered speedup range.
@@ -55,7 +61,10 @@ struct TornadoEntry {
 };
 
 /// Entries sorted by descending swing (most influential parameter first).
+/// Parameters are perturbed axis-parallel; the ranking is deterministic
+/// and independent of the thread count.
 std::vector<TornadoEntry> tornado(const RatInputs& inputs, double fclock_hz,
-                                  double fraction = 0.2);
+                                  double fraction = 0.2,
+                                  std::size_t n_threads = 0);
 
 }  // namespace rat::core

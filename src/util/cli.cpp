@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -53,6 +54,28 @@ long long Cli::get_int(const std::string& key, long long fallback) const {
   if (end == v->c_str() || *end != '\0')
     throw std::invalid_argument("Cli: --" + key + " is not an integer: " + *v);
   return x;
+}
+
+std::size_t Cli::get_size_t(const std::string& key, std::size_t fallback,
+                            std::size_t min_value,
+                            std::size_t max_value) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  if (v->empty() || v->front() == '-' || v->front() == '+')
+    throw std::invalid_argument("Cli: --" + key +
+                                " is not an unsigned integer: " + *v);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0' || errno == ERANGE ||
+      x > std::numeric_limits<std::size_t>::max())
+    throw std::invalid_argument("Cli: --" + key +
+                                " is not an unsigned integer: " + *v);
+  if (x < min_value || x > max_value)
+    throw std::invalid_argument(
+        "Cli: --" + key + "=" + *v + " outside [" +
+        std::to_string(min_value) + ", " + std::to_string(max_value) + "]");
+  return static_cast<std::size_t>(x);
 }
 
 bool Cli::get_bool(const std::string& key, bool fallback) const {

@@ -4,6 +4,8 @@
 // argument. Unknown keys are kept so callers can report them.
 #pragma once
 
+#include <cstddef>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -27,6 +29,13 @@ class Cli {
   double get_double(const std::string& key, double fallback) const;
   long long get_int(const std::string& key, long long fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Non-negative integer flag with range validation: throws when the value
+  /// is not an unsigned integer or lies outside [min_value, max_value].
+  /// The fallback is returned as-is when the flag is absent.
+  std::size_t get_size_t(
+      const std::string& key, std::size_t fallback, std::size_t min_value = 0,
+      std::size_t max_value = std::numeric_limits<std::size_t>::max()) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

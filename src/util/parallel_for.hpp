@@ -1,0 +1,115 @@
+// Chunked parallel iteration over an index range, on the shared pool.
+//
+// parallel_for(n, fn) applies fn(i) for i in [0, n), splitting the range
+// into one contiguous chunk per thread. The calling thread runs chunk 0
+// itself (so a busy pool can never stall a region completely) and waits
+// for the rest. Guarantees:
+//
+//   * every index runs exactly once, whatever the thread count;
+//   * exceptions propagate: the exception from the lowest-numbered failing
+//     chunk is rethrown on the caller, so a failing run throws the same
+//     error no matter how chunks interleave (other chunks still complete);
+//   * serial fallback when the resolved thread count is 1, n <= 1, or the
+//     caller is itself a pool worker (nested regions never deadlock);
+//   * a requested thread count of 0 means default_thread_count(), i.e. the
+//     RAT_THREADS override or hardware_concurrency.
+//
+// parallel_map(n, fn) is the ordered-results variant: out[i] = fn(i), with
+// the output vector indexed exactly like the serial loop would fill it.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace rat::util {
+
+/// Threads a parallel region will actually target for a requested count:
+/// 0 resolves to default_thread_count(), anything else is taken as given.
+inline std::size_t resolve_thread_count(std::size_t requested) {
+  return requested == 0 ? default_thread_count() : requested;
+}
+
+namespace detail {
+
+/// Completion latch + first-error capture for one parallel region.
+struct ParallelRegion {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;
+  std::size_t error_chunk = static_cast<std::size_t>(-1);
+  std::exception_ptr error;
+
+  void record_error(std::size_t chunk, std::exception_ptr e) {
+    std::lock_guard lock(mu);
+    if (chunk < error_chunk) {
+      error_chunk = chunk;
+      error = std::move(e);
+    }
+  }
+
+  void finish_one() {
+    std::lock_guard lock(mu);
+    if (--pending == 0) done_cv.notify_all();
+  }
+
+  void wait_and_rethrow() {
+    std::unique_lock lock(mu);
+    done_cv.wait(lock, [this] { return pending == 0; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace detail
+
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, std::size_t n_threads = 0) {
+  if (n == 0) return;
+  const std::size_t threads = std::min(resolve_thread_count(n_threads), n);
+  if (threads <= 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  detail::ParallelRegion region;
+  region.pending = threads;
+  const std::size_t chunk = (n + threads - 1) / threads;
+  auto run_chunk = [&region, &fn, n, chunk](std::size_t c) {
+    try {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    } catch (...) {
+      region.record_error(c, std::current_exception());
+    }
+    region.finish_one();
+  };
+
+  ThreadPool& pool = ThreadPool::shared();
+  // The region outlives every chunk (wait_and_rethrow below), so the tasks
+  // may capture run_chunk by reference.
+  for (std::size_t c = 1; c < threads; ++c)
+    pool.submit([&run_chunk, c] { run_chunk(c); });
+  run_chunk(0);
+  region.wait_and_rethrow();
+}
+
+/// out[i] = fn(i) for i in [0, n), in index order. The element type must be
+/// default-constructible (slots are filled in place by the chunks).
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn, std::size_t n_threads = 0) {
+  using T = std::decay_t<decltype(fn(std::size_t{0}))>;
+  std::vector<T> out(n);
+  parallel_for(
+      n, [&out, &fn](std::size_t i) { out[i] = fn(i); }, n_threads);
+  return out;
+}
+
+}  // namespace rat::util

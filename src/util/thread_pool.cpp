@@ -1,0 +1,73 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rat::util {
+
+namespace {
+thread_local bool tls_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0)
+    throw std::invalid_argument("ThreadPool: n_threads == 0");
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (!task) throw std::invalid_argument("ThreadPool::submit: empty task");
+  {
+    std::lock_guard lock(mu_);
+    if (stop_)
+      throw std::logic_error("ThreadPool::submit: pool is shutting down");
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  tls_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and everything drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::on_worker_thread() { return tls_pool_worker; }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("RAT_THREADS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 256)
+      return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 1 ? static_cast<std::size_t>(hc) : 1;
+}
+
+}  // namespace rat::util

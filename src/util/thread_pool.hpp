@@ -1,0 +1,63 @@
+// Fixed-size worker pool shared by every parallel region in the library.
+//
+// The explorer's hot loops (design-space evaluation, Monte-Carlo sampling,
+// sensitivity sweeps, precision searches) are embarrassingly parallel, so a
+// single process-wide pool is enough: callers describe *what* to split via
+// parallel_for / parallel_map (see util/parallel_for.hpp) and this class
+// only runs opaque tasks. Tasks must not throw — parallel_for wraps user
+// callables and captures exceptions itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rat::util {
+
+class ThreadPool {
+ public:
+  /// Spins up @p n_threads workers immediately. Throws when n_threads == 0.
+  explicit ThreadPool(std::size_t n_threads);
+
+  /// Drains nothing: joins after finishing every task already submitted.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue one task. Tasks run in submission order (single FIFO queue)
+  /// on whichever worker frees up first, and must not throw.
+  void submit(std::function<void()> task);
+
+  /// True when the calling thread is one of *any* pool's workers. Parallel
+  /// regions use this to fall back to serial execution instead of
+  /// deadlocking on nested fan-out.
+  static bool on_worker_thread();
+
+  /// The process-wide pool, created on first use with
+  /// default_thread_count() workers.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Thread count used when a caller passes 0 ("auto"): the RAT_THREADS
+/// environment variable when set to an integer in [1, 256] (malformed
+/// values are ignored), else std::thread::hardware_concurrency(), and at
+/// least 1 either way.
+std::size_t default_thread_count();
+
+}  // namespace rat::util

@@ -63,5 +63,29 @@ TEST(Cli, EmptyArgv) {
   EXPECT_TRUE(cli.keys().empty());
 }
 
+TEST(Cli, GetSizeT) {
+  const Cli cli = make({"--threads=8", "--big=18446744073709551615"});
+  EXPECT_EQ(cli.get_size_t("threads", 1), 8u);
+  EXPECT_EQ(cli.get_size_t("absent", 4), 4u);
+  EXPECT_EQ(cli.get_size_t("big", 0),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Cli, GetSizeTRangeValidation) {
+  const Cli cli = make({"--threads=300"});
+  EXPECT_EQ(cli.get_size_t("threads", 1, 1, 512), 300u);
+  EXPECT_THROW(cli.get_size_t("threads", 1, 1, 256), std::invalid_argument);
+  EXPECT_THROW(cli.get_size_t("threads", 1, 301, 512), std::invalid_argument);
+  // The fallback is returned as-is even outside [min, max].
+  EXPECT_EQ(cli.get_size_t("absent", 0, 1, 256), 0u);
+}
+
+TEST(Cli, GetSizeTRejectsNonIntegers) {
+  const Cli cli = make({"--a=-3", "--b=1.5", "--c=abc", "--d=", "--e=+2",
+                        "--f=99999999999999999999999999"});
+  for (const char* key : {"a", "b", "c", "d", "e", "f"})
+    EXPECT_THROW(cli.get_size_t(key, 0), std::invalid_argument) << key;
+}
+
 }  // namespace
 }  // namespace rat::util

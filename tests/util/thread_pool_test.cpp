@@ -1,0 +1,171 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel_for.hpp"
+
+namespace rat::util {
+namespace {
+
+/// Blocks until a submitted-task counter reaches a target (the pool has no
+/// per-task futures; tasks signal completion themselves).
+struct Latch {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t count = 0;
+
+  void arrive() {
+    std::lock_guard lock(mu);
+    ++count;
+    cv.notify_all();
+  }
+  void wait_for(std::size_t target) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return count >= target; });
+  }
+};
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  Latch latch;
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 10; ++i)
+    pool.submit([i, &sum, &latch] {
+      sum += i;
+      latch.arrive();
+    });
+  latch.wait_for(10);
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPool, OversubscriptionDrainsEveryTask) {
+  // Far more tasks than workers: everything still runs exactly once.
+  ThreadPool pool(2);
+  constexpr std::size_t kTasks = 256;
+  Latch latch;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i)
+    pool.submit([i, &hits, &latch] {
+      ++hits[i];
+      latch.arrive();
+    });
+  latch.wait_for(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, WorkersAreMarked) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  ThreadPool pool(1);
+  Latch latch;
+  bool on_worker = false;
+  pool.submit([&] {
+    on_worker = ThreadPool::on_worker_thread();
+    latch.arrive();
+  });
+  latch.wait_for(1);
+  EXPECT_TRUE(on_worker);
+}
+
+TEST(ThreadPool, Validation) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), std::invalid_argument);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, RatThreadsEnvOverride) {
+  setenv("RAT_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3u);
+  setenv("RAT_THREADS", "not-a-number", 1);  // malformed: ignored
+  EXPECT_GE(default_thread_count(), 1u);
+  setenv("RAT_THREADS", "0", 1);  // out of range: ignored
+  EXPECT_GE(default_thread_count(), 1u);
+  unsetenv("RAT_THREADS");
+}
+
+TEST(ParallelFor, EmptyRangeNeverInvokes) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; }, 8);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(kN, [&](std::size_t i) { ++hits[i]; }, 8);
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, SingleThreadRunsInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(100, [&](std::size_t i) { order.push_back(i); }, 1);
+  std::vector<std::size_t> expected(100);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, PropagatesTheLowestChunkException) {
+  // i=3 lives in chunk 0, i=90 in chunk 3 (4 threads, chunks of 25): the
+  // rethrown error must be chunk 0's regardless of scheduling.
+  auto fn = [](std::size_t i) {
+    if (i == 3) throw std::runtime_error("err-3");
+    if (i == 90) throw std::runtime_error("err-90");
+  };
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    try {
+      parallel_for(100, fn, 4);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "err-3");
+    }
+  }
+}
+
+TEST(ParallelFor, ExceptionPropagatesFromSerialFallback) {
+  EXPECT_THROW(
+      parallel_for(10, [](std::size_t) { throw std::runtime_error("x"); }, 1),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedRegionsFallBackToSerialWithoutDeadlock) {
+  constexpr std::size_t kOuter = 16, kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  parallel_for(
+      kOuter,
+      [&](std::size_t o) {
+        parallel_for(
+            kInner, [&](std::size_t i) { ++hits[o * kInner + i]; }, 8);
+      },
+      8);
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelMap, PreservesIndexOrder) {
+  const auto out =
+      parallel_map(1000, [](std::size_t i) { return i * i; }, 8);
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, ThreadCountDoesNotChangeResults) {
+  auto fn = [](std::size_t i) { return static_cast<double>(i) * 1.5 + 1.0; };
+  const auto serial = parallel_map(513, fn, 1);
+  for (std::size_t threads : {2u, 3u, 8u, 32u})
+    EXPECT_EQ(parallel_map(513, fn, threads), serial) << threads;
+}
+
+}  // namespace
+}  // namespace rat::util
