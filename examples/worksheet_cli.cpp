@@ -22,6 +22,7 @@
 #include "core/streaming.hpp"
 #include "core/units.hpp"
 #include "core/worksheet.hpp"
+#include "io/loader.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 
@@ -32,15 +33,14 @@ int main(int argc, char** argv) {
   core::RatInputs in;
   const std::string which = cli.get_or("case", "pdf1d");
   if (cli.has("input")) {
-    std::ifstream f(cli.get("input").value());
-    if (!f) {
-      std::fprintf(stderr, "cannot open %s\n",
-                   cli.get("input").value().c_str());
+    // Strict loader: malformed worksheets exit with one file:line:column
+    // diagnostic instead of an uncaught exception.
+    try {
+      in = io::load_worksheet(cli.get("input").value());
+    } catch (const core::ParseError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
       return 1;
     }
-    std::ostringstream os;
-    os << f.rdbuf();
-    in = core::RatInputs::parse(os.str());
   } else if (which == "pdf1d") {
     in = core::pdf1d_inputs();
   } else if (which == "pdf2d") {

@@ -24,4 +24,38 @@ cmake --build build-tsan --target test_parallel
 ctest --test-dir build-tsan --output-on-failure \
   -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism)'
 
+# ASan+UBSan pass over the worksheet ingestion path: the io tests (strict
+# parser, loaders, batch runner) plus the rat_batch binary, then a smoke
+# run on the checked-in fixture directory whose broken.rat must yield a
+# per-file file:line:column diagnostic and the documented exit code 2
+# (partial failure) while the three good worksheets still evaluate.
+echo "==== AddressSanitizer+UBSan pass (worksheet ingestion)"
+cmake -B build-asan -G Ninja -DRAT_SANITIZE=address,undefined
+cmake --build build-asan --target test_io rat_batch
+ctest --test-dir build-asan --output-on-failure \
+  -R '^(LoadWorksheet|WorksheetDir|Batch)'
+
+echo "==== rat_batch smoke (fixture directory with one malformed file)"
+smoke_out=$(mktemp)
+smoke_err=$(mktemp)
+rc=0
+build-asan/src/apps/rat_batch --dir=tests/fixtures/worksheets --quiet \
+  >"$smoke_out" 2>"$smoke_err" || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "rat_batch: expected documented exit code 2 (partial failure), got $rc"
+  cat "$smoke_out" "$smoke_err"
+  exit 1
+fi
+if ! grep -q 'broken.rat:3:18: E_BAD_LIST' "$smoke_err"; then
+  echo "rat_batch: missing file:line:column diagnostic for broken.rat"
+  cat "$smoke_err"
+  exit 1
+fi
+if ! grep -q '4 worksheet(s): 3 ok, 1 failed' "$smoke_out"; then
+  echo "rat_batch: expected 3 good worksheets to still evaluate"
+  cat "$smoke_out"
+  exit 1
+fi
+rm -f "$smoke_out" "$smoke_err"
+
 echo "ALL CHECKS PASSED"

@@ -1,0 +1,165 @@
+// rat_batch — batch RAT evaluation over a set of worksheet files.
+//
+// Evaluates every worksheet in a directory (and/or files given as
+// positional arguments) through the shared thread pool, with
+// partial-failure semantics: a malformed worksheet produces one
+// file:line:column diagnostic on stderr while every other worksheet is
+// still evaluated and reported. Emits machine-readable JSON/CSV of the
+// inputs and every Eq. 1-11 prediction (both buffering modes) alongside
+// the paper-style printed tables.
+//
+// Usage:
+//   rat_batch --dir=<worksheet dir> [files.rat ...]
+//             [--out=<dir>]          write <dir>/batch.json + batch.csv
+//             [--json=<path>] [--csv=<path>]
+//             [--threads=N]          0 = auto (RAT_THREADS override)
+//             [--mode=sb|db]         printed tables' buffering mode
+//             [--quiet]              summary + diagnostics only
+//
+// Exit codes (documented in docs/WORKSHEET_FORMAT.md):
+//   0  every worksheet evaluated
+//   1  fatal: bad flags, unreadable directory, or no worksheets found
+//   2  partial failure: at least one worksheet had a diagnostic
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+#include "core/worksheet.hpp"
+#include "io/batch.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+int usage(const char* program) {
+  std::fprintf(stderr,
+               "usage: %s --dir=<worksheet dir> [files.rat ...] "
+               "[--out=<dir>] [--json=<path>] [--csv=<path>] "
+               "[--threads=N] [--mode=sb|db] [--quiet]\n",
+               program);
+  return 1;
+}
+
+bool write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "rat_batch: cannot write %s\n",
+                 path.string().c_str());
+    return false;
+  }
+  f << text;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rat;
+  const util::Cli cli(argc, argv);
+
+  static const std::vector<std::string> known{
+      "dir", "out", "json", "csv", "threads", "mode", "quiet", "help"};
+  for (const std::string& k : cli.keys()) {
+    if (std::find(known.begin(), known.end(), k) == known.end()) {
+      std::fprintf(stderr, "rat_batch: unknown flag --%s\n", k.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (cli.has("help")) return usage(argv[0]);
+
+  const std::string mode_flag = cli.get_or("mode", "sb");
+  if (mode_flag != "sb" && mode_flag != "db") {
+    std::fprintf(stderr, "rat_batch: --mode must be sb or db\n");
+    return usage(argv[0]);
+  }
+  const auto mode = mode_flag == "sb" ? core::WorksheetMode::kSingleBuffered
+                                      : core::WorksheetMode::kDoubleBuffered;
+
+  std::size_t n_threads = 0;
+  try {
+    n_threads = cli.get_size_t("threads", 0, 0, 4096);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rat_batch: %s\n", e.what());
+    return usage(argv[0]);
+  }
+
+  // Collect the work list: every *.rat in --dir, plus positional files.
+  std::vector<std::filesystem::path> files;
+  if (cli.has("dir")) {
+    try {
+      for (const auto& r : io::load_worksheet_dir(cli.get("dir").value()))
+        files.push_back(r.path);
+    } catch (const core::ParseError& e) {
+      std::fprintf(stderr, "rat_batch: %s\n", e.what());
+      return 1;
+    }
+  }
+  for (const std::string& p : cli.positional()) files.emplace_back(p);
+  if (files.empty()) {
+    std::fprintf(stderr, "rat_batch: no worksheet files (*%s) to evaluate\n",
+                 io::kWorksheetExtension);
+    return usage(argv[0]);
+  }
+
+  const io::BatchResult result = io::run_batch(files, n_threads);
+
+  // Per-file summary table on stdout, one diagnostic per line on stderr.
+  util::Table summary({"file", "status", "name", "clocks",
+                       mode_flag == "sb" ? "best speedup (SB)"
+                                         : "best speedup (DB)"});
+  for (const io::BatchEntry& e : result.entries) {
+    if (!e.ok()) {
+      summary.add_row({e.load.path.filename().string(), "ERROR", "", "", ""});
+      continue;
+    }
+    double best = 0.0;
+    for (const auto& p : e.predictions)
+      best = std::max(best, mode == core::WorksheetMode::kSingleBuffered
+                                ? p.speedup_sb
+                                : p.speedup_db);
+    summary.add_row({e.load.path.filename().string(), "ok",
+                     e.load.inputs->name,
+                     std::to_string(e.predictions.size()),
+                     util::fixed(best, 1)});
+  }
+  std::printf("%s", summary.to_ascii().c_str());
+  std::printf("%zu worksheet(s): %zu ok, %zu failed\n",
+              result.entries.size(), result.n_ok, result.n_failed);
+
+  for (const io::BatchEntry& e : result.entries)
+    if (!e.ok())
+      std::fprintf(stderr, "%s\n", e.load.diagnostic->to_string().c_str());
+
+  if (!cli.has("quiet")) {
+    for (const io::BatchEntry& e : result.entries) {
+      if (!e.ok()) continue;
+      std::printf("\nRAT worksheet: %s (%s)\n",
+                  e.load.inputs->name.c_str(),
+                  e.load.path.string().c_str());
+      std::printf("%s",
+                  core::performance_table(e.predictions, {}, mode)
+                      .to_ascii()
+                      .c_str());
+    }
+  }
+
+  bool write_failed = false;
+  if (cli.has("out")) {
+    const std::filesystem::path out_dir = cli.get("out").value();
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    write_failed |= !write_file(out_dir / "batch.json", batch_json(result));
+    write_failed |= !write_file(out_dir / "batch.csv", batch_csv(result));
+  }
+  if (cli.has("json"))
+    write_failed |= !write_file(cli.get("json").value(), batch_json(result));
+  if (cli.has("csv"))
+    write_failed |= !write_file(cli.get("csv").value(), batch_csv(result));
+
+  if (write_failed) return 1;
+  return result.all_ok() ? 0 : 2;
+}

@@ -53,9 +53,8 @@ UncertaintyModel UncertaintyModel::typical(const RatInputs& inputs) {
   return m;
 }
 
-namespace {
-
-double draw(const InputDistribution& d, double point_value, util::Rng& rng) {
+double sample(const InputDistribution& d, double point_value,
+              util::Rng& rng) {
   switch (d.kind) {
     case InputDistribution::Kind::kFixed:
       return point_value;
@@ -64,15 +63,22 @@ double draw(const InputDistribution& d, double point_value, util::Rng& rng) {
     case InputDistribution::Kind::kNormal: {
       // Rejection-truncated normal; falls back to clamping after a bounded
       // number of tries so a mis-specified band cannot hang the sampler.
+      // The fallback clamps the *last rejected draw*, not the mean:
+      // clamping the mean collapsed every fallback sample to the same
+      // constant, silently removing all variance when the band sits far
+      // from the mean.
+      double x = d.mean;
       for (int tries = 0; tries < 64; ++tries) {
-        const double x = rng.normal(d.mean, d.sigma);
+        x = rng.normal(d.mean, d.sigma);
         if (x >= d.lo && x <= d.hi) return x;
       }
-      return std::clamp(d.mean, d.lo, d.hi);
+      return std::clamp(x, d.lo, d.hi);
     }
   }
   throw std::logic_error("unreachable");
 }
+
+namespace {
 
 /// Chunk size for parallel sampling. Fixed (never derived from the thread
 /// count) so the overall sample sequence depends only on the seed: chunk c
@@ -98,20 +104,20 @@ SampleChunk sample_chunk(const RatInputs& inputs,
 
   const double base_clock = inputs.comp.fclock_hz.front();
   for (std::size_t i = 0; i < count; ++i) {
-    RatInputs sample = inputs;
-    sample.comm.alpha_write =
-        std::min(1.0, draw(model.alpha_write, inputs.comm.alpha_write, rng));
-    sample.comm.alpha_read =
-        std::min(1.0, draw(model.alpha_read, inputs.comm.alpha_read, rng));
-    sample.comp.ops_per_element =
-        draw(model.ops_per_element, inputs.comp.ops_per_element, rng);
-    sample.comp.throughput_ops_per_cycle = draw(
+    RatInputs perturbed = inputs;
+    perturbed.comm.alpha_write =
+        std::min(1.0, sample(model.alpha_write, inputs.comm.alpha_write, rng));
+    perturbed.comm.alpha_read =
+        std::min(1.0, sample(model.alpha_read, inputs.comm.alpha_read, rng));
+    perturbed.comp.ops_per_element =
+        sample(model.ops_per_element, inputs.comp.ops_per_element, rng);
+    perturbed.comp.throughput_ops_per_cycle = sample(
         model.throughput_proc, inputs.comp.throughput_ops_per_cycle, rng);
-    sample.software.tsoft_sec =
-        draw(model.tsoft_sec, inputs.software.tsoft_sec, rng);
-    const double fclock = draw(model.fclock_hz, base_clock, rng);
+    perturbed.software.tsoft_sec =
+        sample(model.tsoft_sec, inputs.software.tsoft_sec, rng);
+    const double fclock = sample(model.fclock_hz, base_clock, rng);
 
-    const ThroughputPrediction p = predict(sample, fclock);
+    const ThroughputPrediction p = predict(perturbed, fclock);
     chunk.s_sb.push_back(p.speedup_sb);
     chunk.s_db.push_back(p.speedup_db);
     chunk.t_rc.push_back(p.t_rc_sb_sec);

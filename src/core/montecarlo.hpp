@@ -16,6 +16,10 @@
 
 #include "core/throughput.hpp"
 
+namespace rat::util {
+class Rng;
+}
+
 namespace rat::core {
 
 /// How one scalar input is perturbed across samples.
@@ -76,6 +80,15 @@ struct MonteCarloResult {
   /// Raw SB speedup samples, sorted ascending (for downstream plotting).
   std::vector<double> speedup_sb_samples;
 };
+
+/// One draw from @p d (@p point_value when kFixed; needs util::Rng from
+/// util/rng.hpp). This is the sampler run_monte_carlo applies to every
+/// uncertain input; exposed so custom samplers and tests can use the
+/// exact same truncation semantics. kNormal rejection-samples within
+/// [lo, hi] and, after 64 rejections, clamps the final rejected draw
+/// (never the mean, which would collapse the sample to a constant).
+double sample(const InputDistribution& d, double point_value,
+              util::Rng& rng);
 
 /// Sample @p n predictions from the model. @p goal_speedup feeds
 /// probability_of_goal (pass 0 to skip). Deterministic per seed AND

@@ -1,10 +1,14 @@
 #include "core/parameters.hpp"
 
+#include <charconv>
 #include <cmath>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "core/units.hpp"
+#include "io/diagnostics.hpp"
 #include "util/format.hpp"
 
 namespace rat::core {
@@ -13,6 +17,51 @@ namespace {
 
 void require(bool ok, const std::string& what) {
   if (!ok) throw std::invalid_argument("RatInputs: " + what);
+}
+
+/// Strict, locale-independent number parsing for one worksheet value
+/// token. std::from_chars never consults the global locale (std::stod
+/// does, so "75.5" failed under comma-decimal locales) and reports
+/// overflow as a result code instead of letting std::out_of_range escape
+/// without the key name. All failures become ParseError carrying the
+/// origin, position and offending key.
+double parse_double_token(std::string_view token, const std::string& origin,
+                          std::size_t line, std::size_t column,
+                          const std::string& key, ParseErrorCode code) {
+  std::string_view t = token;
+  if (!t.empty() && t.front() == '+') t.remove_prefix(1);  // from_chars: no '+'
+  if (t.empty())
+    throw ParseError({origin, line, column, code, key,
+                      "empty value, expected a number"});
+  double x = 0.0;
+  const auto r = std::from_chars(t.data(), t.data() + t.size(), x);
+  if (r.ec == std::errc::invalid_argument)
+    throw ParseError({origin, line, column, code, key,
+                      "not a number: '" + std::string(token) + "'"});
+  if (r.ec == std::errc::result_out_of_range)
+    throw ParseError({origin, line, column, code, key,
+                      "number out of range: '" + std::string(token) + "'"});
+  if (r.ptr != t.data() + t.size())
+    throw ParseError({origin, line, column, code, key,
+                      "trailing characters after number: '" +
+                          std::string(token) + "'"});
+  if (!std::isfinite(x))
+    throw ParseError({origin, line, column, code, key,
+                      "non-finite value: '" + std::string(token) + "'"});
+  return x;
+}
+
+std::size_t parse_count_token(std::string_view token,
+                              const std::string& origin, std::size_t line,
+                              std::size_t column, const std::string& key) {
+  const double x = parse_double_token(token, origin, line, column, key,
+                                      ParseErrorCode::kBadCount);
+  // 2^53: largest range where every integer is exact in a double.
+  if (x < 0.0 || x != std::floor(x) || x > 9007199254740992.0)
+    throw ParseError({origin, line, column, ParseErrorCode::kBadCount, key,
+                      "expected a non-negative integer, got '" +
+                          std::string(token) + "'"});
+  return static_cast<std::size_t>(x);
 }
 
 }  // namespace
@@ -92,15 +141,27 @@ std::string RatInputs::serialize() const {
 }
 
 RatInputs RatInputs::parse(const std::string& text) {
+  return parse(text, "<string>");
+}
+
+RatInputs RatInputs::parse(const std::string& text,
+                           const std::string& origin) {
   RatInputs in;
   std::istringstream is(text);
   std::string line;
+  std::size_t line_no = 0;
+  std::set<std::string> seen;
   bool saw_name = false;
   while (std::getline(is, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF files
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
     const auto eq = line.find('=');
     if (eq == std::string::npos)
-      throw std::invalid_argument("RatInputs::parse: missing '=' in: " + line);
+      throw ParseError({origin, line_no, first + 1,
+                        ParseErrorCode::kMissingEquals, "",
+                        "missing '=' in: " + line});
     auto trim = [](std::string s) {
       const auto b = s.find_first_not_of(" \t");
       const auto e = s.find_last_not_of(" \t");
@@ -108,18 +169,24 @@ RatInputs RatInputs::parse(const std::string& text) {
     };
     const std::string key = trim(line.substr(0, eq));
     const std::string value = trim(line.substr(eq + 1));
+    const std::size_t key_col = first + 1;
+    // Where the value starts in the raw line (1-based), for diagnostics.
+    std::size_t value_begin = line.find_first_not_of(" \t", eq + 1);
+    if (value_begin == std::string::npos) value_begin = line.size();
+    const std::size_t value_col = value_begin + 1;
+    if (key.empty())
+      throw ParseError({origin, line_no, key_col, ParseErrorCode::kUnknownKey,
+                        "", "empty key before '='"});
+    if (!seen.insert(key).second)
+      throw ParseError({origin, line_no, key_col,
+                        ParseErrorCode::kDuplicateKey, key,
+                        "duplicate key (appears more than once)"});
     auto as_double = [&] {
-      std::size_t pos = 0;
-      const double x = std::stod(value, &pos);
-      if (pos != value.size())
-        throw std::invalid_argument("RatInputs::parse: bad number for " + key);
-      return x;
+      return parse_double_token(value, origin, line_no, value_col, key,
+                                ParseErrorCode::kBadNumber);
     };
     auto as_size = [&] {
-      const double x = as_double();
-      if (x < 0.0 || x != std::floor(x))
-        throw std::invalid_argument("RatInputs::parse: bad count for " + key);
-      return static_cast<std::size_t>(x);
+      return parse_count_token(value, origin, line_no, value_col, key);
     };
     if (key == "name") {
       in.name = value;
@@ -141,19 +208,36 @@ RatInputs RatInputs::parse(const std::string& text) {
     } else if (key == "throughput_ops_per_cycle") {
       in.comp.throughput_ops_per_cycle = as_double();
     } else if (key == "fclock_hz") {
-      std::istringstream vs(value);
-      double f;
-      while (vs >> f) in.comp.fclock_hz.push_back(f);
+      // Token-wise over the raw line so a malformed entry is rejected
+      // here, at its exact column, instead of being silently dropped
+      // (`75e6 oops` used to parse as one clock) or surfacing later as a
+      // confusing empty-list validate() message.
+      std::size_t pos = value_begin;
+      while (pos < line.size()) {
+        const std::size_t tb = line.find_first_not_of(" \t", pos);
+        if (tb == std::string::npos) break;
+        std::size_t te = line.find_first_of(" \t", tb);
+        if (te == std::string::npos) te = line.size();
+        in.comp.fclock_hz.push_back(
+            parse_double_token(line.substr(tb, te - tb), origin, line_no,
+                               tb + 1, key, ParseErrorCode::kBadList));
+        pos = te;
+      }
+      if (in.comp.fclock_hz.empty())
+        throw ParseError({origin, line_no, value_col,
+                          ParseErrorCode::kBadList, key, "empty clock list"});
     } else if (key == "tsoft_sec") {
       in.software.tsoft_sec = as_double();
     } else if (key == "n_iterations") {
       in.software.n_iterations = as_size();
     } else {
-      throw std::invalid_argument("RatInputs::parse: unknown key " + key);
+      throw ParseError({origin, line_no, key_col, ParseErrorCode::kUnknownKey,
+                        key, "unknown key"});
     }
   }
   if (!saw_name)
-    throw std::invalid_argument("RatInputs::parse: missing 'name'");
+    throw ParseError({origin, 0, 0, ParseErrorCode::kMissingName, "name",
+                      "missing 'name' key"});
   return in;
 }
 

@@ -62,8 +62,17 @@ struct RatInputs {
 
   /// Serialize to a "key = value" text block, and parse one back. The
   /// round-trip is exact for all numeric fields.
+  ///
+  /// parse is strict (grammar in docs/WORKSHEET_FORMAT.md): numbers go
+  /// through locale-independent std::from_chars, malformed clock-list
+  /// tokens, duplicate keys, unknown keys and non-finite values are all
+  /// rejected at parse time, and every failure is thrown as a
+  /// core::ParseError (io/diagnostics.hpp, derives std::invalid_argument)
+  /// carrying origin:line:column, the offending key and an error code.
+  /// @p origin labels diagnostics (a file path; "<string>" by default).
   std::string serialize() const;
   static RatInputs parse(const std::string& text);
+  static RatInputs parse(const std::string& text, const std::string& origin);
 };
 
 /// The paper's three case-study worksheets (Tables 2, 5 and 8 verbatim;

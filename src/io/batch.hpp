@@ -1,0 +1,59 @@
+// Batch evaluation of worksheet files.
+//
+// Evaluates many worksheet files through the shared thread pool
+// (util::parallel_map) with partial-failure semantics: a malformed file
+// produces a per-file Diagnostic while every other file is still
+// evaluated — one bad worksheet never kills the batch. Results are
+// emitted machine-readably (JSON with the full input set and every
+// Eq. 1-11 output for both buffering modes, or flat CSV) so the batch
+// pipeline can be scripted; the rat_batch app adds the human tables.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/throughput.hpp"
+#include "io/loader.hpp"
+
+namespace rat::io {
+
+/// One worksheet file's batch outcome: the load result plus, on success,
+/// the per-clock predictions (exactly core::predict_all on the inputs).
+struct BatchEntry {
+  LoadResult load;
+  std::vector<core::ThroughputPrediction> predictions;
+
+  bool ok() const { return load.ok(); }
+};
+
+struct BatchResult {
+  /// Entries in the order the files were given (sorted for directories).
+  std::vector<BatchEntry> entries;
+  std::size_t n_ok = 0;
+  std::size_t n_failed = 0;
+
+  bool all_ok() const { return n_failed == 0; }
+};
+
+/// Evaluate each file (load_worksheet + predict_all), in parallel across
+/// the pool. @p n_threads 0 = auto (RAT_THREADS / hardware_concurrency).
+/// Never throws for a bad file — see BatchEntry::load.diagnostic.
+BatchResult run_batch(const std::vector<std::filesystem::path>& files,
+                      std::size_t n_threads = 0);
+
+/// run_batch over every "*.rat" file directly inside @p dir, sorted by
+/// path. Throws core::ParseError (E_IO) only when the directory itself is
+/// missing or unreadable.
+BatchResult run_batch_dir(const std::filesystem::path& dir,
+                          std::size_t n_threads = 0);
+
+/// Machine-readable emitters (schema documented in
+/// docs/WORKSHEET_FORMAT.md). JSON carries inputs + predictions +
+/// diagnostics; CSV is one row per (file, clock), with failed files as a
+/// single row whose `error` column holds the rendered diagnostic.
+std::string batch_json(const BatchResult& result);
+std::string batch_csv(const BatchResult& result);
+
+}  // namespace rat::io

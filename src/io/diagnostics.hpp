@@ -1,0 +1,94 @@
+// Structured diagnostics for the worksheet ingestion path.
+//
+// Every failure in the strict worksheet parser and the file/directory
+// loaders is described by a Diagnostic: where it happened (file, 1-based
+// line and column), what rule was violated (ParseErrorCode), which
+// worksheet key was involved, and a human-readable detail message.
+// ParseError wraps a Diagnostic in an exception; it derives from
+// std::invalid_argument so callers written against the old ad-hoc parser
+// keep working, while new callers (the batch runner) can recover the
+// structured fields from diagnostic().
+//
+// Header-only so rat_core can throw these without depending on the
+// higher-level rat_io library (which depends on rat_core for RatInputs).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace rat::core {
+
+/// What went wrong, as a machine-checkable category. The E_* spellings
+/// (error_code_name) are part of the documented interface: they appear in
+/// rat_batch JSON output and in docs/WORKSHEET_FORMAT.md.
+enum class ParseErrorCode {
+  kIoError,       ///< file missing, unreadable, or not a regular file
+  kMissingEquals, ///< a non-comment line has no '='
+  kUnknownKey,    ///< key is not part of the worksheet grammar
+  kDuplicateKey,  ///< key appears more than once in one worksheet
+  kBadNumber,     ///< value is not a finite decimal number
+  kBadCount,      ///< value is not a non-negative integer
+  kBadList,       ///< clock list is empty or has a malformed entry
+  kMissingName,   ///< worksheet has no 'name' key at all
+  kInvalidValue,  ///< parsed fine but rejected by RatInputs::validate()
+  kInternalError, ///< unexpected failure while processing the worksheet
+};
+
+/// Stable identifier for @p code ("E_BAD_NUMBER", ...).
+constexpr const char* error_code_name(ParseErrorCode code) {
+  switch (code) {
+    case ParseErrorCode::kIoError: return "E_IO";
+    case ParseErrorCode::kMissingEquals: return "E_MISSING_EQUALS";
+    case ParseErrorCode::kUnknownKey: return "E_UNKNOWN_KEY";
+    case ParseErrorCode::kDuplicateKey: return "E_DUPLICATE_KEY";
+    case ParseErrorCode::kBadNumber: return "E_BAD_NUMBER";
+    case ParseErrorCode::kBadCount: return "E_BAD_COUNT";
+    case ParseErrorCode::kBadList: return "E_BAD_LIST";
+    case ParseErrorCode::kMissingName: return "E_MISSING_NAME";
+    case ParseErrorCode::kInvalidValue: return "E_INVALID_VALUE";
+    case ParseErrorCode::kInternalError: return "E_INTERNAL";
+  }
+  return "E_INTERNAL";
+}
+
+/// One ingestion failure, with enough context to act on it.
+struct Diagnostic {
+  std::string file = "<string>"; ///< origin (path, or "<string>" for text)
+  std::size_t line = 0;          ///< 1-based; 0 = whole-file problem
+  std::size_t column = 0;        ///< 1-based; 0 = whole-line problem
+  ParseErrorCode code = ParseErrorCode::kInternalError;
+  std::string key;               ///< offending worksheet key, when known
+  std::string message;           ///< human-readable detail
+
+  /// "file:line:column: E_BAD_NUMBER: RatInputs::parse: key: message".
+  /// Line/column segments are omitted when 0, the key segment when empty.
+  std::string to_string() const {
+    std::string s = file;
+    if (line > 0) {
+      s += ':' + std::to_string(line);
+      if (column > 0) s += ':' + std::to_string(column);
+    }
+    s += ": ";
+    s += error_code_name(code);
+    s += ": RatInputs::parse: ";
+    if (!key.empty()) s += key + ": ";
+    s += message;
+    return s;
+  }
+};
+
+/// Exception form of a Diagnostic. what() is Diagnostic::to_string().
+class ParseError : public std::invalid_argument {
+ public:
+  explicit ParseError(Diagnostic d)
+      : std::invalid_argument(d.to_string()), diagnostic_(std::move(d)) {}
+
+  const Diagnostic& diagnostic() const { return diagnostic_; }
+
+ private:
+  Diagnostic diagnostic_;
+};
+
+}  // namespace rat::core

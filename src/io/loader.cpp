@@ -1,0 +1,80 @@
+#include "io/loader.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace rat::io {
+
+namespace {
+
+core::Diagnostic io_diagnostic(const std::filesystem::path& path,
+                               const std::string& message) {
+  return {path.string(), 0, 0, core::ParseErrorCode::kIoError, "", message};
+}
+
+}  // namespace
+
+core::RatInputs load_worksheet(const std::filesystem::path& path) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec))
+    throw core::ParseError(
+        io_diagnostic(path, ec ? "cannot stat file: " + ec.message()
+                               : "not a regular file"));
+  std::ifstream f(path, std::ios::binary);
+  if (!f)
+    throw core::ParseError(io_diagnostic(path, "cannot open file"));
+  std::ostringstream os;
+  os << f.rdbuf();
+  if (f.bad())
+    throw core::ParseError(io_diagnostic(path, "read error"));
+
+  core::RatInputs in = core::RatInputs::parse(os.str(), path.string());
+  try {
+    in.validate();
+  } catch (const std::invalid_argument& e) {
+    // The worksheet parsed but a value is outside its documented domain;
+    // keep the file context so batch diagnostics stay actionable.
+    throw core::ParseError({path.string(), 0, 0,
+                            core::ParseErrorCode::kInvalidValue, "",
+                            e.what()});
+  }
+  return in;
+}
+
+std::vector<LoadResult> load_worksheet_dir(
+    const std::filesystem::path& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec))
+    throw core::ParseError(
+        io_diagnostic(dir, ec ? "cannot stat directory: " + ec.message()
+                              : "not a directory"));
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() &&
+        entry.path().extension() == kWorksheetExtension)
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<LoadResult> results;
+  results.reserve(files.size());
+  for (const auto& path : files) {
+    LoadResult r;
+    r.path = path;
+    try {
+      r.inputs = load_worksheet(path);
+    } catch (const core::ParseError& e) {
+      r.diagnostic = e.diagnostic();
+    } catch (const std::exception& e) {
+      r.diagnostic = core::Diagnostic{path.string(), 0, 0,
+                                      core::ParseErrorCode::kInternalError,
+                                      "", e.what()};
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace rat::io

@@ -1,0 +1,46 @@
+// Worksheet file and directory loading.
+//
+// The paper's workflow is worksheet-driven: "users simply provide the
+// input parameters and the resulting performance values are returned"
+// (§4). This layer turns worksheet *files* into validated RatInputs with
+// structured diagnostics (io/diagnostics.hpp): load_worksheet throws a
+// core::ParseError whose Diagnostic names the file, line and column;
+// load_worksheet_dir has partial-failure semantics — one bad file yields
+// a per-file Diagnostic, never a dead batch.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "core/parameters.hpp"
+#include "io/diagnostics.hpp"
+
+namespace rat::io {
+
+/// Extension a worksheet file must carry to be picked up by
+/// load_worksheet_dir (load_worksheet itself accepts any path).
+inline constexpr const char* kWorksheetExtension = ".rat";
+
+/// Read, parse and validate one worksheet file. Throws core::ParseError
+/// for unreadable files (E_IO), grammar violations (with file:line:column)
+/// and values rejected by RatInputs::validate() (E_INVALID_VALUE).
+core::RatInputs load_worksheet(const std::filesystem::path& path);
+
+/// One file's outcome from load_worksheet_dir: exactly one of inputs /
+/// diagnostic is set.
+struct LoadResult {
+  std::filesystem::path path;
+  std::optional<core::RatInputs> inputs;
+  std::optional<core::Diagnostic> diagnostic;
+
+  bool ok() const { return inputs.has_value(); }
+};
+
+/// Load every "*.rat" file directly inside @p dir (not recursive), sorted
+/// by path so results are deterministic across platforms. Per-file
+/// failures land in LoadResult::diagnostic; only an unreadable or missing
+/// directory throws (core::ParseError, E_IO).
+std::vector<LoadResult> load_worksheet_dir(const std::filesystem::path& dir);
+
+}  // namespace rat::io

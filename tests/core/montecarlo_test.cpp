@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <set>
 #include <stdexcept>
 
 #include "core/units.hpp"
+#include "util/rng.hpp"
 
 namespace rat::core {
 namespace {
@@ -18,6 +21,47 @@ TEST(InputDistribution, FactoriesValidate) {
                std::invalid_argument);
   EXPECT_THROW(InputDistribution::normal(1.0, 0.1, 2.0, 0.0),
                std::invalid_argument);
+}
+
+TEST(InputDistribution, SampleRespectsEachKind) {
+  util::Rng rng(5);
+  EXPECT_DOUBLE_EQ(sample(InputDistribution::fixed(), 3.25, rng), 3.25);
+  for (int i = 0; i < 100; ++i) {
+    const double u = sample(InputDistribution::uniform(2.0, 4.0), 0.0, rng);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 4.0);
+    const double n =
+        sample(InputDistribution::normal(3.0, 0.5, 2.0, 4.0), 0.0, rng);
+    EXPECT_GE(n, 2.0);
+    EXPECT_LE(n, 4.0);
+  }
+}
+
+TEST(InputDistribution, TruncatedNormalFarBandDoesNotCollapse) {
+  // Band ~2.5 sigma above the mean: most of the 64 rejection tries fail,
+  // so the clamping fallback fires for many samples. The old fallback
+  // clamped the *mean*, collapsing every such sample to the constant
+  // lo = 2.5 and biasing mis-specified bands; clamping the final rejected
+  // draw keeps the in-band draws and their spread.
+  const InputDistribution d = InputDistribution::normal(0.0, 1.0, 2.5, 6.0);
+  util::Rng rng(17);
+  std::set<double> distinct;
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 512;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample(d, 0.0, rng);
+    ASSERT_GE(x, 2.5);
+    ASSERT_LE(x, 6.0);
+    distinct.insert(x);
+    sum += x;
+    sum_sq += x * x;
+  }
+  // Regression: the old code produced exactly one distinct value (2.5).
+  EXPECT_GT(distinct.size(), n / 10u);
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_GT(mean, 2.5);
+  EXPECT_GT(std::sqrt(var), 0.01);
 }
 
 TEST(MonteCarlo, FixedModelReproducesPointPrediction) {

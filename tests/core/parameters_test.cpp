@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <stdexcept>
+#include <string>
 
 #include "core/units.hpp"
+#include "io/diagnostics.hpp"
 
 namespace rat::core {
 namespace {
@@ -113,6 +116,145 @@ TEST(RatInputs, ParseSkipsCommentsAndBlankLines) {
       "# worksheet\n\nname = demo\nelements_in = 8\n");
   EXPECT_EQ(in.name, "demo");
   EXPECT_EQ(in.dataset.elements_in, 8u);
+}
+
+// Returns the message of the ParseError thrown by parse(), failing the
+// test if nothing (or something else) is thrown.
+std::string parse_error_message(const std::string& text) {
+  try {
+    RatInputs::parse(text);
+  } catch (const ParseError& e) {
+    return e.what();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "expected ParseError, got: " << e.what();
+    return "";
+  }
+  ADD_FAILURE() << "expected ParseError, parse succeeded for: " << text;
+  return "";
+}
+
+TEST(RatInputs, ParseRejectsTrailingGarbageInClockList) {
+  // `while (vs >> f)` used to silently drop "oops" and keep one clock.
+  const std::string msg =
+      parse_error_message("name = x\nfclock_hz = 75e6 oops\n");
+  EXPECT_NE(msg.find("fclock_hz"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("oops"), std::string::npos) << msg;
+}
+
+TEST(RatInputs, ParseRejectsFullyNonNumericClockList) {
+  // This used to parse to an *empty* list that only surfaced later as a
+  // confusing "no candidate clock frequencies" validate() message.
+  const std::string msg =
+      parse_error_message("name = x\nfclock_hz = fast faster\n");
+  EXPECT_NE(msg.find("fclock_hz"), std::string::npos) << msg;
+}
+
+TEST(RatInputs, ParseRejectsEmptyClockList) {
+  const std::string msg = parse_error_message("name = x\nfclock_hz =\n");
+  EXPECT_NE(msg.find("fclock_hz"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("empty clock list"), std::string::npos) << msg;
+}
+
+TEST(RatInputs, ParseRejectsDuplicateKeys) {
+  // A repeated key used to silently overwrite the earlier value.
+  const std::string msg = parse_error_message(
+      "name = x\nelements_in = 1\nelements_in = 2\n");
+  EXPECT_NE(msg.find("elements_in"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate"), std::string::npos) << msg;
+  const std::string msg2 = parse_error_message("name = x\nname = y\n");
+  EXPECT_NE(msg2.find("duplicate"), std::string::npos) << msg2;
+}
+
+TEST(RatInputs, ParseWrapsOverflowWithKeyContext) {
+  // std::stod used to let std::out_of_range escape with no key name.
+  try {
+    RatInputs::parse("name = x\ntsoft_sec = 1e999\n");
+    FAIL() << "expected ParseError";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("tsoft_sec"), std::string::npos);
+  }
+}
+
+TEST(RatInputs, ParseRejectsNonFiniteValues) {
+  // from_chars accepts "inf"/"nan" spellings; the worksheet grammar does
+  // not (validate() would wave inf through its > 0 checks).
+  EXPECT_NE(parse_error_message("name = x\nalpha_write = inf\n")
+                .find("alpha_write"),
+            std::string::npos);
+  EXPECT_NE(
+      parse_error_message("name = x\ntsoft_sec = nan\n").find("tsoft_sec"),
+      std::string::npos);
+}
+
+TEST(RatInputs, ParseReportsLineAndColumn) {
+  try {
+    RatInputs::parse("# comment\nname = x\nalpha_read = bogus\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.diagnostic().file, "<string>");
+    EXPECT_EQ(e.diagnostic().line, 3u);
+    EXPECT_EQ(e.diagnostic().column, 14u);  // "bogus" starts at column 14
+    EXPECT_EQ(e.diagnostic().code, ParseErrorCode::kBadNumber);
+    EXPECT_EQ(e.diagnostic().key, "alpha_read");
+  }
+}
+
+TEST(RatInputs, ParseOriginAppearsInDiagnostics) {
+  try {
+    RatInputs::parse("name = x\nelements_in = -1\n", "deck.rat");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.diagnostic().file, "deck.rat");
+    EXPECT_NE(std::string(e.what()).find("deck.rat:2:"), std::string::npos);
+  }
+}
+
+TEST(RatInputs, ParseAcceptsCrlfAndIndentedComments) {
+  const RatInputs in = RatInputs::parse(
+      "  # indented comment\r\nname = demo\r\nelements_in = 8\r\n");
+  EXPECT_EQ(in.name, "demo");
+  EXPECT_EQ(in.dataset.elements_in, 8u);
+}
+
+TEST(RatInputs, ParseIsLocaleIndependent) {
+  // Under a comma-decimal locale std::stod rejected "75.5"; from_chars
+  // never consults the locale. Skip silently when no such locale is
+  // installed in the container.
+  const char* old = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = old ? old : "C";
+  const bool have_locale =
+      std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+      std::setlocale(LC_NUMERIC, "fr_FR.UTF-8") != nullptr;
+  const RatInputs in =
+      RatInputs::parse("name = x\nbytes_per_element = 75.5\n");
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_DOUBLE_EQ(in.dataset.bytes_per_element, 75.5);
+  if (!have_locale)
+    GTEST_LOG_(INFO) << "no comma-decimal locale installed; "
+                        "parsed under the default locale only";
+}
+
+TEST(RatInputs, EveryParseDiagnosticCodeIsReachable) {
+  auto code_of = [](const std::string& text) {
+    try {
+      RatInputs::parse(text);
+    } catch (const ParseError& e) {
+      return e.diagnostic().code;
+    }
+    ADD_FAILURE() << "expected ParseError for: " << text;
+    return ParseErrorCode::kInternalError;
+  };
+  EXPECT_EQ(code_of("no equals sign"), ParseErrorCode::kMissingEquals);
+  EXPECT_EQ(code_of("name = x\nbogus_key = 1\n"),
+            ParseErrorCode::kUnknownKey);
+  EXPECT_EQ(code_of("name = x\nname = y\n"), ParseErrorCode::kDuplicateKey);
+  EXPECT_EQ(code_of("name = x\nalpha_read = twelve\n"),
+            ParseErrorCode::kBadNumber);
+  EXPECT_EQ(code_of("name = x\nelements_in = 1.5\n"),
+            ParseErrorCode::kBadCount);
+  EXPECT_EQ(code_of("name = x\nfclock_hz = fast\n"),
+            ParseErrorCode::kBadList);
+  EXPECT_EQ(code_of("elements_in = 1\n"), ParseErrorCode::kMissingName);
 }
 
 TEST(RatInputs, TableRendersKeyRows) {
