@@ -9,14 +9,19 @@
 // resource tests.
 //
 // Usage: design_space_exploration [--goal=9] [--tolerance=2.0] [--threads=N]
+//                                 [--metrics=<path>]
 //   --threads=0 sizes the worker count automatically (RAT_THREADS override
 //   or hardware concurrency); the outcome is identical at any thread count.
+//   --metrics (or the RAT_METRICS env var) writes a rat.metrics.v1 JSON
+//   document with designspace.* counters and evaluation timers.
 #include <cstdio>
+#include <string>
 
 #include "apps/pdf1d.hpp"
 #include "apps/workload.hpp"
 #include "core/designspace.hpp"
 #include "core/units.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -25,6 +30,11 @@ int main(int argc, char** argv) {
   const double goal = cli.get_double("goal", 9.0);
   const double tolerance = cli.get_double("tolerance", 2.0);
   const std::size_t threads = cli.get_size_t("threads", 1, 0, 256);
+
+  std::string metrics_path = cli.get_or("metrics", "");
+  if (metrics_path.empty())
+    if (const char* env = obs::env_metrics_path()) metrics_path = env;
+  if (!metrics_path.empty()) obs::set_enabled(true);
 
   // Shared precision artifacts (numeric behaviour depends on the format,
   // not on the pipeline count).
@@ -77,6 +87,12 @@ int main(int argc, char** argv) {
     std::printf("all reasonable permutations exhausted without a "
                 "satisfactory solution.\nTry --goal below %.1f.\n",
                 goal);
+  }
+
+  if (!metrics_path.empty()) {
+    obs::write_metrics_file(metrics_path);
+    std::fprintf(stderr, "metrics (%s):\n%s", metrics_path.c_str(),
+                 obs::summary_table().c_str());
   }
   return 0;
 }

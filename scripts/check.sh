@@ -14,15 +14,15 @@ for b in build/bench/bench_*; do
   "$b" --benchmark_min_time=0.05s
 done
 
-# ThreadSanitizer pass over the parallel evaluation engine: a separate
-# build tree with -DRAT_SANITIZE=thread, building and running only the
-# thread-pool + determinism tests (the -R patterns match exactly the
-# suites in test_parallel).
-echo "==== ThreadSanitizer pass (parallel tests)"
+# ThreadSanitizer pass over the parallel evaluation engine and the
+# observability registry: a separate build tree with -DRAT_SANITIZE=thread,
+# building and running only the thread-pool + determinism + obs tests (the
+# -R patterns match exactly the suites in test_parallel and test_obs).
+echo "==== ThreadSanitizer pass (parallel + observability tests)"
 cmake -B build-tsan -G Ninja -DRAT_SANITIZE=thread
-cmake --build build-tsan --target test_parallel
+cmake --build build-tsan --target test_parallel test_obs
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism)'
+  -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism|Obs)'
 
 # ASan+UBSan pass over the worksheet ingestion path: the io tests (strict
 # parser, loaders, batch runner) plus the rat_batch binary, then a smoke
@@ -57,5 +57,36 @@ if ! grep -q '4 worksheet(s): 3 ok, 1 failed' "$smoke_out"; then
   exit 1
 fi
 rm -f "$smoke_out" "$smoke_err"
+
+# Observability smoke: --metrics must emit a valid rat.metrics.v1 document
+# with non-zero batch + thread-pool activity (--threads=2 forces the pool
+# into play even on a single-core runner), and collection must not change
+# the batch outputs — the JSON/CSV written with metrics on are byte-
+# identical to a run with metrics off.
+echo "==== rat_batch metrics smoke (rat.metrics.v1 export)"
+metrics_dir=$(mktemp -d)
+build/src/apps/rat_batch --dir=tests/fixtures/worksheets --quiet \
+  --threads=2 --json="$metrics_dir/plain.json" \
+  --csv="$metrics_dir/plain.csv" >/dev/null 2>&1 || true
+build/src/apps/rat_batch --dir=tests/fixtures/worksheets --quiet \
+  --threads=2 --json="$metrics_dir/observed.json" \
+  --csv="$metrics_dir/observed.csv" \
+  --metrics="$metrics_dir/metrics.json" >/dev/null 2>&1 || true
+cmp "$metrics_dir/plain.json" "$metrics_dir/observed.json"
+cmp "$metrics_dir/plain.csv" "$metrics_dir/observed.csv"
+python3 - "$metrics_dir/metrics.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "rat.metrics.v1", doc.get("schema")
+c = doc["counters"]
+assert c["batch.files"] == 4, c
+assert c["batch.files_ok"] == 3, c
+assert c["pool.tasks_completed"] > 0, c
+assert doc["timers"]["batch.file"]["count"] == 4, doc["timers"]
+assert any(s["name"] == "batch.file" for s in doc["spans"]), doc["spans"]
+print("metrics OK:", len(c), "counters,", len(doc["timers"]), "timers,",
+      len(doc["spans"]), "spans")
+EOF
+rm -rf "$metrics_dir"
 
 echo "ALL CHECKS PASSED"

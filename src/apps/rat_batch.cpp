@@ -15,6 +15,10 @@
 //             [--threads=N]          0 = auto (RAT_THREADS override)
 //             [--mode=sb|db]         printed tables' buffering mode
 //             [--quiet]              summary + diagnostics only
+//             [--metrics=<path>]     collect observability metrics and
+//                                    write a rat.metrics.v1 JSON document
+//                                    (RAT_METRICS env var is an implicit
+//                                    --metrics); summary table on stderr
 //
 // Exit codes (documented in docs/WORKSHEET_FORMAT.md):
 //   0  every worksheet evaluated
@@ -29,8 +33,10 @@
 #include "core/units.hpp"
 #include "core/worksheet.hpp"
 #include "io/batch.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
+#include "util/parallel_for.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -39,7 +45,8 @@ int usage(const char* program) {
   std::fprintf(stderr,
                "usage: %s --dir=<worksheet dir> [files.rat ...] "
                "[--out=<dir>] [--json=<path>] [--csv=<path>] "
-               "[--threads=N] [--mode=sb|db] [--quiet]\n",
+               "[--threads=N] [--mode=sb|db] [--quiet] "
+               "[--metrics=<path>]\n",
                program);
   return 1;
 }
@@ -62,7 +69,8 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
 
   static const std::vector<std::string> known{
-      "dir", "out", "json", "csv", "threads", "mode", "quiet", "help"};
+      "dir", "out", "json", "csv", "threads", "mode", "quiet", "metrics",
+      "help"};
   for (const std::string& k : cli.keys()) {
     if (std::find(known.begin(), known.end(), k) == known.end()) {
       std::fprintf(stderr, "rat_batch: unknown flag --%s\n", k.c_str());
@@ -85,6 +93,22 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rat_batch: %s\n", e.what());
     return usage(argv[0]);
+  }
+
+  // Observability: --metrics=<path> (RAT_METRICS as the env fallback)
+  // turns collection on before any evaluation runs.
+  std::string metrics_path = cli.get_or("metrics", "");
+  if (cli.has("metrics") && metrics_path.empty()) {
+    std::fprintf(stderr, "rat_batch: --metrics needs a path\n");
+    return usage(argv[0]);
+  }
+  if (metrics_path.empty())
+    if (const char* env = obs::env_metrics_path()) metrics_path = env;
+  if (!metrics_path.empty()) {
+    obs::set_enabled(true);
+    obs::Registry::global().set_gauge(
+        "batch.threads",
+        static_cast<double>(util::resolve_thread_count(n_threads)));
   }
 
   // Collect the work list: every *.rat in --dir, plus positional files.
@@ -159,6 +183,13 @@ int main(int argc, char** argv) {
     write_failed |= !write_file(cli.get("json").value(), batch_json(result));
   if (cli.has("csv"))
     write_failed |= !write_file(cli.get("csv").value(), batch_csv(result));
+
+  if (!metrics_path.empty()) {
+    write_failed |= !obs::write_metrics_file(metrics_path);
+    // Summary on stderr: stdout stays reserved for the batch tables.
+    std::fprintf(stderr, "metrics (%s):\n%s", metrics_path.c_str(),
+                 obs::summary_table().c_str());
+  }
 
   if (write_failed) return 1;
   return result.all_ok() ? 0 : 2;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/units.hpp"
+#include "obs/metrics.hpp"
 #include "util/format.hpp"
 
 namespace rat::core {
@@ -56,6 +57,7 @@ DesignSpaceResult explore_design_space(const DesignAxes& axes,
                                        const Requirements& requirements,
                                        const rcsim::Device& device,
                                        std::size_t n_threads) {
+  obs::ScopedTimer timer("designspace.explore");
   DesignSpaceResult result;
   result.points_total = axes.size();
   auto candidates =
@@ -64,6 +66,12 @@ DesignSpaceResult explore_design_space(const DesignAxes& axes,
   if (candidates.empty())
     throw std::invalid_argument(
         "explore_design_space: factory skipped every point");
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.add_counter("designspace.points_total", result.points_total);
+    reg.add_counter("designspace.points_skipped", result.points_skipped);
+    reg.add_counter("designspace.points_evaluated", candidates.size());
+  }
   result.outcome = run_methodology(candidates, requirements, device, n_threads);
   return result;
 }

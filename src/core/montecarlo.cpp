@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/parallel_for.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -129,7 +130,11 @@ SampleChunk sample_chunk(const RatInputs& inputs,
   return chunk;
 }
 
+}  // namespace
+
 Percentiles percentiles_of(std::vector<double>& xs) {
+  if (xs.empty())
+    throw std::invalid_argument("percentiles_of: empty input");
   std::sort(xs.begin(), xs.end());
   auto at = [&](double q) {
     const double idx = q * static_cast<double>(xs.size() - 1);
@@ -146,8 +151,6 @@ Percentiles percentiles_of(std::vector<double>& xs) {
   return p;
 }
 
-}  // namespace
-
 MonteCarloResult run_monte_carlo(const RatInputs& inputs,
                                  const UncertaintyModel& model,
                                  std::size_t n, double goal_speedup,
@@ -155,11 +158,16 @@ MonteCarloResult run_monte_carlo(const RatInputs& inputs,
   inputs.validate();
   if (n < 2) throw std::invalid_argument("run_monte_carlo: n < 2");
 
+  obs::ScopedTimer run_timer("montecarlo.run");
+  if (obs::enabled())
+    obs::Registry::global().add_counter("montecarlo.samples", n);
+
   const std::size_t n_chunks = (n + kChunkSamples - 1) / kChunkSamples;
   std::vector<SampleChunk> chunks(n_chunks);
   util::parallel_for(
       n_chunks,
       [&](std::size_t c) {
+        obs::ScopedTimer chunk_timer("montecarlo.chunk");
         const std::size_t lo = c * kChunkSamples;
         const std::size_t count = std::min(kChunkSamples, n - lo);
         chunks[c] = sample_chunk(inputs, model, count, goal_speedup,

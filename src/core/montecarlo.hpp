@@ -75,11 +75,21 @@ struct MonteCarloResult {
   Percentiles t_rc_sb_sec;
   Percentiles t_comm_sec;
   Percentiles t_comp_sec;
-  /// Fraction of samples whose SB speedup meets the goal passed to run().
+  /// Fraction of samples whose *single-buffered* speedup meets the goal
+  /// passed to run(). SB-only by design — the conservative buffering mode
+  /// is the risk question RAT asks; a goal met only under double
+  /// buffering does not count (docs/MODELS.md §8).
   double probability_of_goal = 0.0;
   /// Raw SB speedup samples, sorted ascending (for downstream plotting).
   std::vector<double> speedup_sb_samples;
 };
+
+/// Empirical p10/p50/p90/mean of @p xs, which is sorted in place.
+/// Quantile q is read at fractional order-statistic index q*(n-1) with
+/// linear interpolation between the two neighbouring sorted samples (the
+/// convention NumPy calls "linear"): n=2 puts p50 exactly halfway between
+/// the samples. Throws std::invalid_argument on empty input.
+Percentiles percentiles_of(std::vector<double>& xs);
 
 /// One draw from @p d (@p point_value when kFixed; needs util::Rng from
 /// util/rng.hpp). This is the sampler run_monte_carlo applies to every

@@ -19,7 +19,7 @@
 
 namespace rat::core {
 
-enum class BufferingMode { kSingle, kDouble };
+// BufferingMode (kSingle/kDouble) lives in core/throughput.hpp.
 
 /// Solve Eq. (4)+(5)/(6)+(7) for throughput_proc given a target speedup at
 /// one clock. Returns nullopt when the target is unreachable at any

@@ -59,9 +59,18 @@ StreamingPrediction predict_streaming(const RatInputs& inputs,
   }
 
   p.sustained_rate = std::min({p.rate_in, p.rate_comp, p.rate_out});
-  if (p.sustained_rate == p.rate_comp) {
+  // Bottleneck classification must be deterministic under ties. The three
+  // rates come from different formulas, so mathematically-equal rates can
+  // differ by rounding ulps — exact float comparison would then classify
+  // by accident of rounding direction. Any rate within a relative
+  // kTieTolerance of the minimum counts as tied, and ties resolve by the
+  // documented priority: compute > input > output (the compute fabric is
+  // the resource the designer controls; channels are platform-fixed).
+  constexpr double kTieTolerance = 1e-9;
+  const double tie_limit = p.sustained_rate * (1.0 + kTieTolerance);
+  if (p.rate_comp <= tie_limit) {
     p.bottleneck = StreamBottleneck::kCompute;
-  } else if (p.sustained_rate == p.rate_in) {
+  } else if (p.rate_in <= tie_limit) {
     p.bottleneck = StreamBottleneck::kInput;
   } else {
     p.bottleneck = StreamBottleneck::kOutput;

@@ -30,6 +30,11 @@ struct StreamingPrediction {
   double rate_out = 0.0;
   /// Steady-state sustained rate: min of the three.
   double sustained_rate = 0.0;
+  /// The saturated resource. Ties (rates within 1e-9 relative of the
+  /// minimum — e.g. mathematically equal rates separated only by
+  /// rounding) resolve deterministically: compute > input > output.
+  /// Designs with no output stream (elements_out == 0) have
+  /// rate_out == +Inf and can never be output-bottlenecked.
   StreamBottleneck bottleneck = StreamBottleneck::kCompute;
 
   /// Time to stream @p total_elements through at the sustained rate

@@ -11,6 +11,11 @@
 
 namespace rat::core {
 
+/// Buffering discipline of the modelled design: single buffered (Eq. 5,
+/// transfers and computation serialized) or double buffered (Eq. 6,
+/// overlapped). Shared by the inverse solvers and the validation scorer.
+enum class BufferingMode { kSingle, kDouble };
+
 /// All derived quantities for one candidate clock frequency.
 struct ThroughputPrediction {
   double fclock_hz = 0.0;

@@ -1,5 +1,6 @@
 #include "core/validation.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "util/format.hpp"
@@ -14,6 +15,8 @@ Measured measured_from_totals(double fclock_hz, double total_comm_sec,
     throw std::invalid_argument("measured_from_totals: zero iterations");
   if (total_sec <= 0.0)
     throw std::invalid_argument("measured_from_totals: non-positive total");
+  if (tsoft_sec <= 0.0)
+    throw std::invalid_argument("measured_from_totals: non-positive tsoft");
   Measured m;
   m.fclock_hz = fclock_hz;
   const double n = static_cast<double>(n_iterations);
@@ -30,35 +33,42 @@ Measured measured_from_totals(double fclock_hz, double total_comm_sec,
 }
 
 util::Table ValidationReport::to_table() const {
+  // The paper's validation tables report error magnitude; the sign
+  // (over- vs under-prediction) stays available in the struct fields.
   util::Table t({"Quantity", "error %", "same order?"});
   auto yn = [](bool b) { return b ? std::string("yes") : std::string("no"); };
-  t.add_row({"tcomm", util::fixed(comm_error_percent, 1),
+  t.add_row({"tcomm", util::fixed(std::fabs(comm_error_percent), 1),
              yn(comm_same_order)});
-  t.add_row({"tcomp", util::fixed(comp_error_percent, 1),
+  t.add_row({"tcomp", util::fixed(std::fabs(comp_error_percent), 1),
              yn(comp_same_order)});
-  t.add_row({"tRC", util::fixed(t_rc_error_percent, 1), ""});
-  t.add_row({"speedup", util::fixed(speedup_error_percent, 1),
+  t.add_row({"tRC", util::fixed(std::fabs(t_rc_error_percent), 1), ""});
+  t.add_row({"speedup", util::fixed(std::fabs(speedup_error_percent), 1),
              yn(speedup_same_order)});
   return t;
 }
 
 ValidationReport validate(const ThroughputPrediction& predicted,
-                          const Measured& actual) {
+                          const Measured& actual, BufferingMode mode) {
+  const bool db = mode == BufferingMode::kDouble;
+  const double predicted_t_rc = db ? predicted.t_rc_db_sec
+                                   : predicted.t_rc_sb_sec;
+  const double predicted_speedup = db ? predicted.speedup_db
+                                      : predicted.speedup_sb;
   ValidationReport r;
   r.comm_error_percent =
       util::percent_error(predicted.t_comm_sec, actual.t_comm_sec);
   r.comp_error_percent =
       util::percent_error(predicted.t_comp_sec, actual.t_comp_sec);
   r.t_rc_error_percent =
-      util::percent_error(predicted.t_rc_sb_sec, actual.t_rc_sec);
+      util::percent_error(predicted_t_rc, actual.t_rc_sec);
   r.speedup_error_percent =
-      util::percent_error(predicted.speedup_sb, actual.speedup);
+      util::percent_error(predicted_speedup, actual.speedup);
   r.comm_same_order =
       util::same_order_of_magnitude(predicted.t_comm_sec, actual.t_comm_sec);
   r.comp_same_order =
       util::same_order_of_magnitude(predicted.t_comp_sec, actual.t_comp_sec);
   r.speedup_same_order =
-      util::same_order_of_magnitude(predicted.speedup_sb, actual.speedup);
+      util::same_order_of_magnitude(predicted_speedup, actual.speedup);
   return r;
 }
 

@@ -26,12 +26,18 @@ struct Measured {
   double util_comp = 0.0;
 };
 
-/// Build a Measured record from aggregate totals.
+/// Build a Measured record from aggregate totals. Throws
+/// std::invalid_argument on zero iterations, a non-positive total, or a
+/// non-positive software baseline (a zero/negative tsoft would silently
+/// turn the speedup into nonsense).
 Measured measured_from_totals(double fclock_hz, double total_comm_sec,
                               double total_comp_sec, double total_sec,
                               std::size_t n_iterations, double tsoft_sec);
 
-/// Error analysis of one prediction against one measurement.
+/// Error analysis of one prediction against one measurement. Error
+/// percents are signed ((actual-pred)/pred * 100, negative =
+/// over-prediction); to_table() prints their magnitude, matching the
+/// paper's Tables 5-10 which report absolute error %.
 struct ValidationReport {
   double comm_error_percent = 0.0;     ///< (actual-pred)/pred * 100
   double comp_error_percent = 0.0;
@@ -50,7 +56,14 @@ struct ValidationReport {
   util::Table to_table() const;
 };
 
+/// Score @p predicted against @p actual. @p mode selects which predicted
+/// execution time and speedup the measurement is compared with (per-
+/// iteration tcomm/tcomp are buffering-independent); scoring a double-
+/// buffered measurement against the single-buffered prediction inflates
+/// the reported error by the overlap factor. Defaults to single buffered,
+/// the paper's published comparisons.
 ValidationReport validate(const ThroughputPrediction& predicted,
-                          const Measured& actual);
+                          const Measured& actual,
+                          BufferingMode mode = BufferingMode::kSingle);
 
 }  // namespace rat::core

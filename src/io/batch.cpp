@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/parallel_for.hpp"
 #include "util/table.hpp"
 
@@ -100,10 +101,15 @@ void append_diagnostic_json(std::ostringstream& os,
 
 BatchResult run_batch(const std::vector<std::filesystem::path>& files,
                       std::size_t n_threads) {
+  obs::ScopedTimer batch_timer("batch.run");
   BatchResult result;
   result.entries = util::parallel_map(
       files.size(),
       [&files](std::size_t i) {
+        // Per-file parse+evaluate span; detail carries the worksheet path
+        // so the exported timeline names every file.
+        obs::ScopedTimer file_timer("batch.file", files[i].string(),
+                                    /*record_span=*/true);
         BatchEntry entry;
         entry.load.path = files[i];
         try {
@@ -122,6 +128,12 @@ BatchResult run_batch(const std::vector<std::filesystem::path>& files,
       n_threads);
   for (const auto& e : result.entries)
     (e.ok() ? result.n_ok : result.n_failed) += 1;
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.add_counter("batch.files", result.entries.size());
+    reg.add_counter("batch.files_ok", result.n_ok);
+    reg.add_counter("batch.files_failed", result.n_failed);
+  }
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace rat::io {
 
 namespace {
@@ -58,9 +60,12 @@ std::vector<LoadResult> load_worksheet_dir(
   }
   std::sort(files.begin(), files.end());
 
+  obs::ScopedTimer dir_timer("io.load_worksheet_dir");
   std::vector<LoadResult> results;
   results.reserve(files.size());
   for (const auto& path : files) {
+    obs::ScopedTimer file_timer("io.load_worksheet", path.string(),
+                                /*record_span=*/true);
     LoadResult r;
     r.path = path;
     try {

@@ -17,15 +17,39 @@ std::string ascii_histogram(std::span<const double> values,
   if (options.n_bins == 0 || options.max_bar_width == 0)
     throw std::invalid_argument("ascii_histogram: zero bins or width");
 
+  // NaN/Inf cannot be binned: casting a NaN bin position to size_t is
+  // undefined behaviour and +-Inf would swallow the data range. Skip them
+  // up front, count them, and annotate the rendering; all-non-finite
+  // input is rejected like empty input.
+  std::size_t dropped = 0;
+  double data_lo = 0.0, data_hi = 0.0;
+  bool have_finite = false;
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      ++dropped;
+      continue;
+    }
+    if (!have_finite) {
+      data_lo = data_hi = v;
+      have_finite = true;
+    } else {
+      data_lo = std::min(data_lo, v);
+      data_hi = std::max(data_hi, v);
+    }
+  }
+  if (!have_finite)
+    throw std::invalid_argument("ascii_histogram: no finite values");
+
   double lo = options.lo, hi = options.hi;
   if (!(lo < hi)) {
-    lo = *std::min_element(values.begin(), values.end());
-    hi = *std::max_element(values.begin(), values.end());
+    lo = data_lo;
+    hi = data_hi;
     if (lo == hi) hi = lo + 1.0;  // degenerate: single-valued data
   }
 
   std::vector<std::size_t> counts(options.n_bins, 0);
   for (double v : values) {
+    if (!std::isfinite(v)) continue;
     const double pos = (v - lo) / (hi - lo);
     const auto bin = static_cast<std::size_t>(
         std::clamp(pos * static_cast<double>(options.n_bins), 0.0,
@@ -45,6 +69,9 @@ std::string ascii_histogram(std::span<const double> values,
     os << pad_left(fixed(b_lo, 2), 9) << " .. " << pad_left(fixed(b_hi, 2), 9)
        << " |" << std::string(bar, '#') << ' ' << counts[b] << '\n';
   }
+  if (dropped > 0)
+    os << "(dropped " << dropped << " non-finite value"
+       << (dropped == 1 ? "" : "s") << ")\n";
   return os.str();
 }
 

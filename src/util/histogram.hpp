@@ -16,7 +16,10 @@ struct HistogramOptions {
 };
 
 /// Render a histogram of @p values, one "lo..hi | ####### count" line per
-/// bin. Throws std::invalid_argument on empty input or zero bins.
+/// bin. Non-finite values (NaN, +-Inf) cannot be binned; they are skipped
+/// and reported in a trailing "(dropped N non-finite values)" line.
+/// Throws std::invalid_argument on empty input, zero bins, or input with
+/// no finite values at all.
 std::string ascii_histogram(std::span<const double> values,
                             const HistogramOptions& options = {});
 

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rat::util {
@@ -74,15 +75,25 @@ void parallel_for(std::size_t n, Fn&& fn, std::size_t n_threads = 0) {
   if (n == 0) return;
   const std::size_t threads = std::min(resolve_thread_count(n_threads), n);
   if (threads <= 1 || ThreadPool::on_worker_thread()) {
+    // Serial fallback: the whole range is one chunk for metrics purposes.
+    obs::ScopedTimer timer("parallel_for.chunk");
+    if (obs::enabled())
+      obs::Registry::global().add_counter("parallel_for.serial_regions");
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.add_counter("parallel_for.regions");
+    reg.add_counter("parallel_for.chunks", threads);
+  }
   detail::ParallelRegion region;
   region.pending = threads;
   const std::size_t chunk = (n + threads - 1) / threads;
   auto run_chunk = [&region, &fn, n, chunk](std::size_t c) {
     try {
+      obs::ScopedTimer timer("parallel_for.chunk");
       const std::size_t lo = c * chunk;
       const std::size_t hi = std::min(n, lo + chunk);
       for (std::size_t i = lo; i < hi; ++i) fn(i);

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
 
 namespace rat::util {
 
@@ -12,9 +15,12 @@ thread_local bool tls_pool_worker = false;
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0)
     throw std::invalid_argument("ThreadPool: n_threads == 0");
+  if (obs::enabled())
+    obs::Registry::global().set_gauge("pool.threads",
+                                      static_cast<double>(n_threads));
   workers_.reserve(n_threads);
   for (std::size_t i = 0; i < n_threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -28,17 +34,39 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   if (!task) throw std::invalid_argument("ThreadPool::submit: empty task");
+  // Metrics wrap: queue wait (submit -> start) and run duration per task.
+  // Decided per submission so tasks enqueued while metrics are off stay
+  // unwrapped — the disabled path pays exactly this one branch.
+  if (obs::enabled()) {
+    task = [inner = std::move(task), submitted = obs::now_ns()] {
+      obs::Registry& reg = obs::Registry::global();
+      const std::uint64_t started = obs::now_ns();
+      reg.record_timer("pool.task_wait", started - submitted);
+      inner();
+      reg.record_timer("pool.task", obs::now_ns() - started);
+      reg.add_counter("pool.tasks_completed");
+    };
+  }
+  std::size_t depth;
   {
     std::lock_guard lock(mu_);
     if (stop_)
       throw std::logic_error("ThreadPool::submit: pool is shutting down");
     queue_.push(std::move(task));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.add_counter("pool.tasks_submitted");
+    reg.max_gauge("pool.queue_depth_max", static_cast<double>(depth));
+  }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   tls_pool_worker = true;
+  const std::string task_counter =
+      "pool.worker." + std::to_string(worker_index) + ".tasks";
   for (;;) {
     std::function<void()> task;
     {
@@ -49,6 +77,7 @@ void ThreadPool::worker_loop() {
       queue_.pop();
     }
     task();
+    if (obs::enabled()) obs::Registry::global().add_counter(task_counter);
   }
 }
 

@@ -45,7 +45,7 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -168,5 +168,56 @@ TEST(MonteCarlo, RejectsTinySampleCounts) {
   EXPECT_THROW(run_monte_carlo(in, {}, 1, 0.0), std::invalid_argument);
 }
 
+TEST(Percentiles, LinearInterpolationBetweenOrderStatistics) {
+  // Quantile q reads fractional index q*(n-1): for n=4 the p10 sits at
+  // index 0.3 -> 0.7*xs[0] + 0.3*xs[1], etc. (NumPy's "linear").
+  std::vector<double> xs{3.0, 1.0, 0.0, 2.0};  // sorted in place
+  const Percentiles p = percentiles_of(xs);
+  EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(p.p10, 0.3);
+  EXPECT_DOUBLE_EQ(p.p50, 1.5);
+  EXPECT_DOUBLE_EQ(p.p90, 2.7);
+  EXPECT_DOUBLE_EQ(p.mean, 1.5);
+}
+
+TEST(Percentiles, TwoSamplesMedianIsHalfway) {
+  std::vector<double> xs{10.0, 20.0};
+  const Percentiles p = percentiles_of(xs);
+  EXPECT_DOUBLE_EQ(p.p50, 15.0);
+  EXPECT_DOUBLE_EQ(p.p10, 11.0);
+  EXPECT_DOUBLE_EQ(p.p90, 19.0);
+}
+
+TEST(Percentiles, SingleSampleAndEmptyInput) {
+  std::vector<double> one{4.25};
+  const Percentiles p = percentiles_of(one);
+  EXPECT_DOUBLE_EQ(p.p10, 4.25);
+  EXPECT_DOUBLE_EQ(p.p50, 4.25);
+  EXPECT_DOUBLE_EQ(p.p90, 4.25);
+  std::vector<double> none;
+  EXPECT_THROW(percentiles_of(none), std::invalid_argument);
+}
+
+TEST(MonteCarlo, GoalProbabilityIsSingleBufferedOnly) {
+  // probability_of_goal scores the *single-buffered* speedup by design
+  // (docs/MODELS.md §8): the conservative mode is the risk question. With
+  // a fully fixed model every sample equals the point prediction, so a
+  // goal strictly between speedup_sb and speedup_db pins the semantics:
+  // SB scoring -> probability 0; accidentally scoring DB would give 1.
+  const RatInputs in = pdf1d_inputs();
+  const auto point = predict(in, in.comp.fclock_hz.front());
+  ASSERT_LT(point.speedup_sb, point.speedup_db);
+  const double between = 0.5 * (point.speedup_sb + point.speedup_db);
+  UncertaintyModel fixed_model;
+  EXPECT_DOUBLE_EQ(
+      run_monte_carlo(in, fixed_model, 100, between, 7).probability_of_goal,
+      0.0);
+  // Sanity: a goal the SB speedup does meet reports certainty.
+  EXPECT_DOUBLE_EQ(run_monte_carlo(in, fixed_model, 100,
+                                   point.speedup_sb * 0.99, 7)
+                       .probability_of_goal,
+                   1.0);
+}
+
 }  // namespace
 }  // namespace rat::core

@@ -67,6 +67,67 @@ TEST(Streaming, NoOutputStreamNeverBottlenecks) {
   EXPECT_TRUE(std::isinf(p.rate_out));
 }
 
+TEST(Streaming, NoOutputStreamEndToEnd) {
+  // The rate_out = +Inf path must stay usable end to end: finite sustained
+  // rate, finite time/speedup, and an output headroom of exactly 1 (an
+  // absent channel has all its headroom).
+  RatInputs in = pdf1d_inputs();
+  in.dataset.elements_out = 0;
+  const auto p = predict_streaming(in, mhz(150));
+  EXPECT_TRUE(std::isfinite(p.sustained_rate));
+  EXPECT_GT(p.sustained_rate, 0.0);
+  EXPECT_DOUBLE_EQ(p.sustained_rate, std::min(p.rate_in, p.rate_comp));
+  EXPECT_TRUE(std::isfinite(p.time_for(1 << 20)));
+  EXPECT_TRUE(std::isfinite(p.speedup_for(1 << 20, 0.578)));
+  EXPECT_DOUBLE_EQ(p.output_headroom(), 1.0);
+  EXPECT_GE(p.input_headroom(), 0.0);
+  EXPECT_GE(p.compute_headroom(), 0.0);
+}
+
+TEST(Streaming, UlpTieClassifiesAsCompute) {
+  // Regression: mathematically equal rate_comp and rate_in separated only
+  // by rounding used to classify by accident of rounding direction. Make
+  // rate_comp exceed rate_in by 1 part in 1e12 — far inside the 1e-9 tie
+  // tolerance — so sustained_rate == rate_in; exact-comparison code
+  // reported kInput, but a tie must resolve to the documented priority,
+  // compute first.
+  RatInputs in = pdf1d_inputs();
+  in.dataset.elements_out = 1;  // output channel effectively unloaded
+  in.comp.ops_per_element = 1.0;
+  in.comp.throughput_ops_per_cycle = 1.0;  // rate_comp == fclock
+  const double rate_in = predict_streaming(in, mhz(100)).rate_in;
+  const auto p = predict_streaming(in, rate_in * (1.0 + 1e-12));
+  ASSERT_DOUBLE_EQ(p.sustained_rate, p.rate_in);
+  ASSERT_GT(p.rate_comp, p.rate_in);  // distinct doubles...
+  EXPECT_EQ(p.bottleneck, StreamBottleneck::kCompute);  // ...but tied
+}
+
+TEST(Streaming, UlpTiePrefersInputOverOutput) {
+  // Same defect on the channel pair: rate_out a hair below rate_in used to
+  // report kOutput; within tolerance the tie resolves input-first.
+  RatInputs in = pdf1d_inputs();
+  in.dataset.elements_out = in.dataset.elements_in;  // out/in ratio 1
+  in.comm.alpha_write = 0.5;
+  in.comm.alpha_read = 0.5 * (1.0 - 1e-12);
+  in.comp.ops_per_element = 1.0;  // compute far faster than the channels
+  const auto p = predict_streaming(in, mhz(150));
+  ASSERT_LT(p.rate_out, p.rate_in);
+  ASSERT_DOUBLE_EQ(p.sustained_rate, p.rate_out);
+  EXPECT_EQ(p.bottleneck, StreamBottleneck::kInput);
+}
+
+TEST(Streaming, DistinctRatesUnaffectedByTieTolerance) {
+  // Rates separated by much more than the tolerance classify exactly as
+  // before the tie handling.
+  RatInputs in = pdf1d_inputs();
+  const auto p = predict_streaming(in, mhz(150));
+  EXPECT_EQ(p.bottleneck, StreamBottleneck::kCompute);
+  in.comp.ops_per_element = 1.0;
+  in.dataset.elements_out = 1;
+  const auto q = predict_streaming(in, mhz(150));
+  EXPECT_EQ(q.bottleneck, StreamBottleneck::kInput);
+}
+
 TEST(Streaming, TimeAndSpeedupScaleLinearly) {
   const auto p = predict_streaming(pdf1d_inputs(), mhz(150));
   EXPECT_NEAR(p.time_for(204800), 2.0 * p.time_for(102400), 1e-12);

@@ -37,6 +37,15 @@ TEST(MeasuredFromTotals, Validation) {
                std::invalid_argument);
 }
 
+TEST(MeasuredFromTotals, RejectsNonPositiveTsoft) {
+  // Regression: tsoft = 0 silently produced speedup = 0 and a negative
+  // tsoft a negative speedup; both must throw like the other bad inputs.
+  EXPECT_THROW(measured_from_totals(1.0, 1.0, 1.0, 2.0, 1, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(measured_from_totals(1.0, 1.0, 1.0, 2.0, 1, -0.578),
+               std::invalid_argument);
+}
+
 TEST(Validate, Table3ErrorStructure) {
   const auto pred = predict(pdf1d_inputs(), mhz(150));
   const auto rep = validate(pred, table3_actual());
@@ -79,6 +88,69 @@ TEST(Validate, TableRendering) {
   EXPECT_EQ(t.num_rows(), 4u);
   EXPECT_EQ(t.cell(0, 0), "tcomm");
   EXPECT_EQ(t.cell(0, 2), "yes");
+}
+
+TEST(Validate, BufferingModeSelectsPrediction) {
+  // Regression: validate() always compared against the single-buffered
+  // prediction, so a double-buffered measurement was scored against the
+  // wrong tRC/speedup and its error was inflated by the overlap factor.
+  const auto pred = predict(pdf1d_inputs(), mhz(150));
+  ASSERT_NE(pred.t_rc_sb_sec, pred.t_rc_db_sec);
+
+  // A "perfect" DB measurement: actual equals the DB prediction exactly.
+  Measured db_actual;
+  db_actual.fclock_hz = mhz(150);
+  db_actual.t_comm_sec = pred.t_comm_sec;
+  db_actual.t_comp_sec = pred.t_comp_sec;
+  db_actual.t_rc_sec = pred.t_rc_db_sec;
+  db_actual.speedup = pred.speedup_db;
+
+  const auto db_rep = validate(pred, db_actual, BufferingMode::kDouble);
+  EXPECT_NEAR(db_rep.t_rc_error_percent, 0.0, 1e-9);
+  EXPECT_NEAR(db_rep.speedup_error_percent, 0.0, 1e-9);
+
+  // The same measurement scored as SB (the old behaviour) shows the
+  // overlap factor as spurious error.
+  const auto sb_rep = validate(pred, db_actual, BufferingMode::kSingle);
+  EXPECT_LT(sb_rep.t_rc_error_percent, -1.0);
+  EXPECT_GT(sb_rep.speedup_error_percent, 1.0);
+  // And the default stays SB, matching the paper's published comparisons.
+  const auto def_rep = validate(pred, db_actual);
+  EXPECT_DOUBLE_EQ(def_rep.t_rc_error_percent, sb_rep.t_rc_error_percent);
+
+  // Per-iteration terms are buffering-independent: identical either way.
+  EXPECT_DOUBLE_EQ(db_rep.comm_error_percent, sb_rep.comm_error_percent);
+  EXPECT_DOUBLE_EQ(db_rep.comp_error_percent, sb_rep.comp_error_percent);
+}
+
+TEST(Validate, SingleBufferedMeasurementScoresCleanInSbMode) {
+  const auto pred = predict(md_inputs(), mhz(100));
+  Measured sb_actual;
+  sb_actual.fclock_hz = mhz(100);
+  sb_actual.t_comm_sec = pred.t_comm_sec;
+  sb_actual.t_comp_sec = pred.t_comp_sec;
+  sb_actual.t_rc_sec = pred.t_rc_sb_sec;
+  sb_actual.speedup = pred.speedup_sb;
+  const auto rep = validate(pred, sb_actual, BufferingMode::kSingle);
+  EXPECT_NEAR(rep.t_rc_error_percent, 0.0, 1e-9);
+  EXPECT_NEAR(rep.speedup_error_percent, 0.0, 1e-9);
+  EXPECT_TRUE(rep.within_order_of_magnitude());
+}
+
+TEST(Validate, TablePrintsAbsoluteErrorSignedStaysInStruct) {
+  // The paper's Tables 5-10 report error magnitude; the struct keeps the
+  // sign so callers can still tell over- from under-prediction.
+  const auto pred = predict(pdf1d_inputs(), mhz(150));
+  const auto rep = validate(pred, table3_actual());
+  ASSERT_LT(rep.speedup_error_percent, 0.0);  // over-predicted -> negative
+  const auto t = rep.to_table();
+  // Row 3 is "speedup"; its printed error must be the magnitude, with no
+  // leading minus sign.
+  EXPECT_EQ(t.cell(3, 0), "speedup");
+  const std::string printed = t.cell(3, 1);
+  EXPECT_EQ(printed.find('-'), std::string::npos);
+  const double expect_abs = -rep.speedup_error_percent;
+  EXPECT_NEAR(std::stod(printed), expect_abs, 0.05 + 1e-9);
 }
 
 }  // namespace

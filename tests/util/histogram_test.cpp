@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -68,6 +69,38 @@ TEST(Histogram, SingleValuedDataDoesNotCrash) {
   EXPECT_NO_THROW(ascii_histogram(xs));
   const std::string s = ascii_histogram(xs);
   EXPECT_NE(s.find("50"), std::string::npos);
+}
+
+TEST(Histogram, NonFiniteValuesSkippedAndCounted) {
+  // Regression: NaN used to flow into the min/max scan and the
+  // static_cast<size_t> binning expression (UB on NaN); +-Inf produced an
+  // infinite bin width. Non-finite samples must be dropped, counted, and
+  // must not perturb the finite data's range.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> xs{1.0, nan, 2.0, inf, 3.0, -inf, 4.0};
+  HistogramOptions opt;
+  opt.n_bins = 4;
+  const std::string s = ascii_histogram(xs, opt);
+  EXPECT_NE(s.find("dropped 3 non-finite"), std::string::npos);
+  // 4 bins + 1 annotation line.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 5);
+  // Range comes from the finite values only: identical to the clean render
+  // except for the trailing annotation.
+  const std::vector<double> clean{1.0, 2.0, 3.0, 4.0};
+  const std::string cs = ascii_histogram(clean, opt);
+  EXPECT_EQ(s.substr(0, cs.size()), cs);
+}
+
+TEST(Histogram, AllNonFiniteThrows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> xs{nan, nan};
+  EXPECT_THROW(ascii_histogram(xs), std::invalid_argument);
+}
+
+TEST(Histogram, NoAnnotationWhenAllFinite) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_EQ(ascii_histogram(xs).find("dropped"), std::string::npos);
 }
 
 TEST(Histogram, FixedRangeClampsOutliers) {
