@@ -1,0 +1,112 @@
+// Service-path benchmarks: cold-miss vs cache-hit evaluation latency
+// through Service::submit, fingerprint/canonicalization cost, and a
+// duplicate-heavy request mix measuring sustained requests/sec.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/parameters.hpp"
+#include "io/json.hpp"
+#include "svc/fingerprint.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace rat;
+
+std::string evaluate_line(const std::string& id, const std::string& sheet,
+                          bool no_cache) {
+  std::string line = "{\"id\":" + io::json_str(id) +
+                     ",\"op\":\"evaluate\",\"worksheet\":" +
+                     io::json_str(sheet);
+  if (no_cache) line += ",\"no_cache\":true";
+  return line + "}";
+}
+
+/// One request, waiting for its response: the full submit -> parse ->
+/// (evaluate | cache hit) -> render round trip.
+void submit_and_wait(svc::Service& service, const std::string& line) {
+  std::atomic<bool> done{false};
+  service.submit(line, [&done](std::string response) {
+    benchmark::DoNotOptimize(response.data());
+    done.store(true, std::memory_order_release);
+  });
+  while (!done.load(std::memory_order_acquire)) {
+  }
+}
+
+void BM_ServiceColdMiss(benchmark::State& state) {
+  svc::Service service({.cache_capacity = 1024});
+  const std::string sheet = core::pdf1d_inputs().serialize();
+  // no_cache: every iteration pays parse + predict_all + render.
+  const std::string line = evaluate_line("cold", sheet, /*no_cache=*/true);
+  for (auto _ : state) submit_and_wait(service, line);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceColdMiss);
+
+void BM_ServiceCacheHit(benchmark::State& state) {
+  svc::Service service({.cache_capacity = 1024});
+  const std::string sheet = core::pdf1d_inputs().serialize();
+  const std::string line = evaluate_line("hot", sheet, /*no_cache=*/false);
+  submit_and_wait(service, line);  // warm the cache: first is the miss
+  for (auto _ : state) submit_and_wait(service, line);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceCacheHit);
+
+void BM_ServiceDuplicateHeavyMix(benchmark::State& state) {
+  // The soak-test shape: a few distinct designs queried over and over
+  // (>= 50% duplicates). items/sec here is the service's requests/sec.
+  svc::Service service({.cache_capacity = 1024});
+  const std::vector<std::string> lines = {
+      evaluate_line("a", core::pdf1d_inputs().serialize(), false),
+      evaluate_line("b", core::pdf2d_inputs().serialize(), false),
+      evaluate_line("c", core::md_inputs().serialize(), false),
+  };
+  std::size_t i = 0;
+  for (auto _ : state) {
+    submit_and_wait(service, lines[i % lines.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  const svc::Service::Stats st = service.stats();
+  state.counters["cache_hit_ratio"] =
+      st.cache.hits + st.cache.misses == 0
+          ? 0.0
+          : static_cast<double>(st.cache.hits) /
+                static_cast<double>(st.cache.hits + st.cache.misses);
+}
+BENCHMARK(BM_ServiceDuplicateHeavyMix);
+
+void BM_CanonicalFingerprint(benchmark::State& state) {
+  // The cache-key cost a hit pays on top of the map lookup.
+  const core::RatInputs inputs = core::pdf1d_inputs();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(svc::fingerprint(inputs));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CanonicalFingerprint);
+
+void BM_RequestParse(benchmark::State& state) {
+  const std::string line =
+      evaluate_line("p", core::pdf1d_inputs().serialize(), false);
+  for (auto _ : state) {
+    svc::Request req = svc::parse_request(line);
+    benchmark::DoNotOptimize(&req);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(line.size()));
+}
+BENCHMARK(BM_RequestParse);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,15 +14,17 @@ for b in build/bench/bench_*; do
   "$b" --benchmark_min_time=0.05s
 done
 
-# ThreadSanitizer pass over the parallel evaluation engine and the
-# observability registry: a separate build tree with -DRAT_SANITIZE=thread,
-# building and running only the thread-pool + determinism + obs tests (the
-# -R patterns match exactly the suites in test_parallel and test_obs).
-echo "==== ThreadSanitizer pass (parallel + observability tests)"
+# ThreadSanitizer pass over the parallel evaluation engine, the
+# observability registry and the prediction service: a separate build tree
+# with -DRAT_SANITIZE=thread, building and running only the thread-pool +
+# determinism + obs + svc tests (the -R patterns match exactly the suites
+# in test_parallel, test_obs and test_svc). rat_serve is built here too so
+# the loopback soak below runs the server under TSan.
+echo "==== ThreadSanitizer pass (parallel + observability + service tests)"
 cmake -B build-tsan -G Ninja -DRAT_SANITIZE=thread
-cmake --build build-tsan --target test_parallel test_obs
+cmake --build build-tsan --target test_parallel test_obs test_svc rat_serve
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism|Obs)'
+  -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism|Obs|Svc)'
 
 # ASan+UBSan pass over the worksheet ingestion path: the io tests (strict
 # parser, loaders, batch runner) plus the rat_batch binary, then a smoke
@@ -88,5 +90,88 @@ print("metrics OK:", len(c), "counters,", len(doc["timers"]), "timers,",
       len(doc["spans"]), "spans")
 EOF
 rm -rf "$metrics_dir"
+
+# Service soak (docs/SERVICE.md): the TSan-built rat_serve answers 1000
+# pipelined loopback requests cycling the four fixture worksheets (>= 50%
+# duplicates, one malformed), so every request must get exactly one
+# response, responses within one worksheet group must be byte-identical
+# (cache hit == cache miss), the metrics JSON must show cache hits, and
+# SIGTERM must drain and exit 0.
+echo "==== rat_serve loopback soak (1000 requests, TSan build)"
+soak_dir=$(mktemp -d)
+build-tsan/src/apps/rat_serve --port=0 --port-file="$soak_dir/port" \
+  --queue-capacity=1024 --metrics="$soak_dir/metrics.json" \
+  >"$soak_dir/stdout" 2>"$soak_dir/stderr" &
+serve_pid=$!
+for _ in $(seq 100); do
+  [ -s "$soak_dir/port" ] && break
+  sleep 0.1
+done
+[ -s "$soak_dir/port" ] || { echo "rat_serve: never wrote port file"; exit 1; }
+python3 - "$(cat "$soak_dir/port")" <<'EOF'
+import json, socket, sys
+port = int(sys.argv[1])
+sheets = [open(f"tests/fixtures/worksheets/{n}.rat").read()
+          for n in ("pdf1d", "pdf2d", "md", "broken")]
+n = 1000
+with socket.create_connection(("127.0.0.1", port)) as s:
+    f = s.makefile("rw")
+    for i in range(n):
+        g = i % len(sheets)
+        # One id per worksheet group: responses must not depend on
+        # whether they were served from the cache, so every response in
+        # a group must be byte-identical.
+        f.write(json.dumps({"schema": "rat.svc.v1", "id": f"w{g}",
+                            "op": "evaluate", "worksheet": sheets[g]}) + "\n")
+    f.flush()
+    groups = {}
+    for _ in range(n):
+        line = f.readline()
+        assert line.endswith("\n"), "short read: a request went unanswered"
+        rid = json.loads(line)["id"]
+        groups.setdefault(rid, set()).add(line)
+assert sorted(groups) == ["w0", "w1", "w2", "w3"], sorted(groups)
+for rid, lines in groups.items():
+    assert len(lines) == 1, f"{rid}: hit/miss responses differ in bytes"
+for rid in ("w0", "w1", "w2"):
+    assert '"status":"ok"' in next(iter(groups[rid])), rid
+bad = json.loads(next(iter(groups["w3"])))
+assert bad["error"]["code"] == "E_BAD_LIST", bad
+print(f"soak OK: {n} requests, 4 groups, byte-identical within group")
+EOF
+kill -TERM "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "rat_serve: expected SIGTERM drain to exit 0, got $rc"
+  cat "$soak_dir/stderr"
+  exit 1
+fi
+python3 - "$soak_dir/metrics.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "rat.metrics.v1", doc.get("schema")
+c = doc["counters"]
+assert c["svc.requests"] == 1000, c.get("svc.requests")
+assert c["svc.cache.hit"] > 0, c.get("svc.cache.hit")
+assert c["svc.responses.ok"] == 750, c.get("svc.responses.ok")
+assert c["svc.responses.error"] == 250, c.get("svc.responses.error")
+print("service metrics OK:", c["svc.cache.hit"], "cache hits,",
+      c["svc.responses.ok"], "ok,", c["svc.responses.error"], "errors")
+EOF
+rm -rf "$soak_dir"
+
+# Stdio smoke: piped requests must each get one response and stdin EOF
+# must drain the server to exit 0 (a hang here is the regression).
+echo "==== rat_serve stdio smoke (EOF drains)"
+stdio_out=$(mktemp)
+printf '%s\n%s\n' \
+  '{"schema":"rat.svc.v1","id":"p","op":"ping"}' \
+  '{"id":"e","op":"evaluate","file":"tests/fixtures/worksheets/pdf1d.rat"}' \
+  | timeout 60 build/src/apps/rat_serve --stdio --no-tcp >"$stdio_out" 2>/dev/null
+grep -q '"id":"p","status":"ok","op":"ping"' "$stdio_out"
+grep -q '"id":"e","status":"ok","op":"evaluate"' "$stdio_out"
+[ "$(wc -l <"$stdio_out")" -eq 2 ]
+rm -f "$stdio_out"
 
 echo "ALL CHECKS PASSED"

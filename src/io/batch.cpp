@@ -1,8 +1,8 @@
 #include "io/batch.hpp"
 
-#include <cstdio>
 #include <sstream>
 
+#include "io/json.hpp"
 #include "obs/metrics.hpp"
 #include "util/parallel_for.hpp"
 #include "util/table.hpp"
@@ -11,47 +11,12 @@ namespace rat::io {
 
 namespace {
 
-/// Shortest decimal string that round-trips the double ("%.17g" prints
-/// noise digits for most values; try increasing precision instead).
-std::string num(double x) {
-  char buf[64];
-  for (int prec = 15; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof buf, "%.*g", prec, x);
-    double back = 0.0;
-    std::sscanf(buf, "%lf", &back);
-    if (back == x) break;
-  }
-  return buf;
-}
+/// Shortest decimal string that round-trips the double (io/json.hpp).
+std::string num(double x) { return json_number(x); }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
+}  // namespace
 
-std::string json_str(const std::string& s) {
-  return '"' + json_escape(s) + '"';
-}
-
-void append_inputs_json(std::ostringstream& os, const core::RatInputs& in) {
+void append_inputs_json(std::ostream& os, const core::RatInputs& in) {
   os << "{\"name\":" << json_str(in.name)
      << ",\"elements_in\":" << in.dataset.elements_in
      << ",\"elements_out\":" << in.dataset.elements_out
@@ -70,7 +35,7 @@ void append_inputs_json(std::ostringstream& os, const core::RatInputs& in) {
      << ",\"n_iterations\":" << in.software.n_iterations << '}';
 }
 
-void append_prediction_json(std::ostringstream& os,
+void append_prediction_json(std::ostream& os,
                             const core::ThroughputPrediction& p) {
   os << "{\"fclock_hz\":" << num(p.fclock_hz)
      << ",\"t_write_sec\":" << num(p.t_write_sec)
@@ -87,17 +52,14 @@ void append_prediction_json(std::ostringstream& os,
      << ",\"util_comm_db\":" << num(p.util_comm_db) << '}';
 }
 
-void append_diagnostic_json(std::ostringstream& os,
-                            const core::Diagnostic& d) {
+void append_diagnostic_json(std::ostream& os, const core::Diagnostic& d) {
   os << "{\"file\":" << json_str(d.file) << ",\"line\":" << d.line
      << ",\"column\":" << d.column
-     << ",\"code\":" << json_str(error_code_name(d.code))
+     << ",\"code\":" << json_str(core::error_code_name(d.code))
      << ",\"key\":" << json_str(d.key)
      << ",\"message\":" << json_str(d.message)
      << ",\"rendered\":" << json_str(d.to_string()) << '}';
 }
-
-}  // namespace
 
 BatchResult run_batch(const std::vector<std::filesystem::path>& files,
                       std::size_t n_threads) {

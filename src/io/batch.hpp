@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <filesystem>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -55,5 +56,13 @@ BatchResult run_batch_dir(const std::filesystem::path& dir,
 /// single row whose `error` column holds the rendered diagnostic.
 std::string batch_json(const BatchResult& result);
 std::string batch_csv(const BatchResult& result);
+
+/// The shared JSON fragment renderers behind batch_json, public so the
+/// prediction service emits byte-identical inputs / prediction /
+/// diagnostic payloads (numbers via io::json_number round-trip exactly).
+void append_inputs_json(std::ostream& os, const core::RatInputs& inputs);
+void append_prediction_json(std::ostream& os,
+                            const core::ThroughputPrediction& prediction);
+void append_diagnostic_json(std::ostream& os, const core::Diagnostic& d);
 
 }  // namespace rat::io

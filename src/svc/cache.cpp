@@ -1,0 +1,99 @@
+#include "svc/cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace rat::svc {
+
+namespace {
+
+void obs_count(const char* name) {
+  if (obs::enabled()) obs::Registry::global().add_counter(name);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t n_shards)
+    : capacity_(capacity) {
+  if (n_shards == 0) n_shards = 1;
+  if (n_shards > capacity && capacity > 0) n_shards = capacity;
+  per_shard_capacity_ =
+      capacity == 0 ? 0 : (capacity + n_shards - 1) / n_shards;
+  shards_.reserve(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ResultCache::Value ResultCache::get(const std::string& key,
+                                    std::uint64_t fp) {
+  Shard& s = shard_for(fp);
+  {
+    std::lock_guard lock(s.mu);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      // Refresh: move to the front of the shard's LRU list.
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      obs_count("svc.cache.hit");
+      return it->second->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs_count("svc.cache.miss");
+  return nullptr;
+}
+
+void ResultCache::put(const std::string& key, std::uint64_t fp,
+                      Value value) {
+  if (per_shard_capacity_ == 0) return;
+  Shard& s = shard_for(fp);
+  bool evicted = false;
+  bool inserted = false;
+  {
+    std::lock_guard lock(s.mu);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      // Concurrent miss on the same key: both computed, results are
+      // deterministic, so refreshing the existing entry is equivalent.
+      it->second->second = std::move(value);
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+    } else {
+      if (s.lru.size() >= per_shard_capacity_) {
+        s.index.erase(s.lru.back().first);
+        s.lru.pop_back();
+        evicted = true;
+      }
+      s.lru.emplace_front(key, std::move(value));
+      s.index.emplace(key, s.lru.begin());
+      inserted = true;
+    }
+  }
+  if (evicted) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs_count("svc.cache.eviction");
+  }
+  if (inserted && !evicted) size_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled())
+    obs::Registry::global().set_gauge(
+        "svc.cache.size",
+        static_cast<double>(size_.load(std::memory_order_relaxed)));
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats st;
+  st.hits = hits_.load(std::memory_order_relaxed);
+  st.misses = misses_.load(std::memory_order_relaxed);
+  st.evictions = evictions_.load(std::memory_order_relaxed);
+  st.size = size_.load(std::memory_order_relaxed);
+  return st;
+}
+
+void ResultCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+  size_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rat::svc

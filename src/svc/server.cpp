@@ -1,0 +1,300 @@
+#include "svc/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace rat::svc {
+
+namespace {
+
+void obs_count(const char* name) {
+  if (obs::enabled()) obs::Registry::global().add_counter(name);
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+/// One client: a read fd the reader thread drains and a write fd the
+/// service's response callbacks target. Writes and the closed flag share
+/// one mutex, so a response racing connection teardown either completes
+/// or is dropped cleanly — never a write to a reused descriptor.
+struct Server::Connection {
+  int read_fd = -1;
+  int write_fd = -1;
+  bool is_socket = false;  ///< sockets: send(MSG_NOSIGNAL) + close both
+  std::mutex write_mu;
+  bool closed = false;
+
+  void send_line(const std::string& line) {
+    std::lock_guard lock(write_mu);
+    if (closed) {
+      obs_count("svc.server.responses_dropped");
+      return;
+    }
+    std::string out = line;
+    out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n =
+          is_socket
+              ? ::send(write_fd, out.data() + off, out.size() - off,
+                       MSG_NOSIGNAL)
+              : ::write(write_fd, out.data() + off, out.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        obs_count("svc.server.write_failed");
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void close_fds() {
+    std::lock_guard lock(write_mu);
+    if (closed) return;
+    closed = true;
+    if (is_socket) {
+      ::close(read_fd);  // read_fd == write_fd for sockets
+    }
+    // stdio: leave fds 0/1 to the process.
+  }
+
+  /// Wake a reader blocked in poll/read without closing anything.
+  void shutdown_read() {
+    if (is_socket) ::shutdown(read_fd, SHUT_RD);
+  }
+};
+
+Server::Server(Service& service, ServerConfig config)
+    : service_(service), config_(config) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) throw_errno("svc::Server: pipe");
+  wake_r_ = pipe_fds[0];
+  wake_w_ = pipe_fds[1];
+  // Non-blocking write end: a signal handler must never block on a full
+  // pipe; one byte is enough to latch the stop request.
+  ::fcntl(wake_w_, F_SETFL, O_NONBLOCK);
+}
+
+Server::~Server() {
+  if (started_ && !ran_) {
+    // Backstop for tests/errors that never called run().
+    trigger_stop();
+    run();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::close(wake_r_);
+  ::close(wake_w_);
+}
+
+void Server::trigger_stop() {
+  const char byte = 's';
+  [[maybe_unused]] ssize_t n = ::write(wake_w_, &byte, 1);
+}
+
+void Server::start() {
+  if (config_.tcp) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("svc::Server: socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0)
+      throw_errno("svc::Server: bind 127.0.0.1");
+    if (::listen(listen_fd_, 64) != 0) throw_errno("svc::Server: listen");
+    socklen_t len = sizeof addr;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) != 0)
+      throw_errno("svc::Server: getsockname");
+    port_ = ntohs(addr.sin_port);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+  if (config_.stdio) {
+    auto conn = std::make_shared<Connection>();
+    conn->read_fd = STDIN_FILENO;
+    conn->write_fd = STDOUT_FILENO;
+    conn->is_socket = false;
+    std::thread t([this, conn] { reader_loop(conn); });
+    add_connection(conn, std::move(t));
+  }
+  // A shutdown op drains the whole server, not just the service.
+  service_.set_shutdown_handler([this] { trigger_stop(); });
+  started_ = true;
+}
+
+void Server::add_connection(std::shared_ptr<Connection> conn,
+                            std::thread thread) {
+  std::lock_guard lock(conns_mu_);
+  conns_.push_back(std::move(conn));
+  conn_threads_.push_back(std::move(thread));
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_r_, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // stop requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
+    }
+    obs_count("svc.server.connections");
+    auto conn = std::make_shared<Connection>();
+    conn->read_fd = fd;
+    conn->write_fd = fd;
+    conn->is_socket = true;
+    std::thread t([this, conn] { reader_loop(conn); });
+    add_connection(conn, std::move(t));
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  bool stop = false;
+  auto submit_line = [this, &conn](std::string line) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) return;  // blank keepalive lines are legal
+    // The callback holds the connection alive until the response lands,
+    // even if the reader (and the server's registry) let go first.
+    service_.submit(line,
+                    [conn](std::string response) { conn->send_line(response); });
+  };
+  bool oversize = false;
+  while (!stop) {
+    // Deliver every complete line already buffered.
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      if (nl - start > config_.max_line_bytes) {
+        oversize = true;
+        break;
+      }
+      submit_line(buffer.substr(start, nl - start));
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+    // Both a complete line over the limit and a partial line that can no
+    // longer fit under it are protocol violations; the connection drops.
+    if (oversize || buffer.size() > config_.max_line_bytes) {
+      conn->send_line(error_response(
+          "", SvcErrorCode::kBadRequest,
+          "request line exceeds " +
+              std::to_string(config_.max_line_bytes) + " bytes"));
+      break;
+    }
+
+    pollfd fds[2] = {{conn->read_fd, POLLIN, 0}, {wake_r_, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) return;  // draining: stop reading, keep fd
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+
+    char chunk[65536];
+    const ssize_t n = ::read(conn->read_fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      // EOF. A final unterminated line still counts as a request.
+      if (!buffer.empty()) submit_line(std::move(buffer));
+      stop = true;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  // Distinguish a client-initiated end (EOF / error / oversize: close,
+  // dropping any in-flight responses — the client hung up) from a
+  // drain-initiated one (SHUT_RD also reads as EOF: keep the fd open so
+  // pending responses still land; run() closes it after the drain).
+  pollfd wake{wake_r_, POLLIN, 0};
+  const bool draining = ::poll(&wake, 1, 0) > 0 && (wake.revents & POLLIN);
+  if (!draining) {
+    if (conn->is_socket) {
+      conn->close_fds();
+    } else {
+      // stdin EOF (or a stdio protocol violation): no more requests can
+      // ever arrive on this connection, and a piped `rat_serve --stdio`
+      // must terminate rather than hang. Drain the whole server — the
+      // connection stays open so in-flight responses still reach stdout;
+      // run() closes it after the drain.
+      trigger_stop();
+    }
+  }
+}
+
+void Server::run() {
+  // Wait for a stop trigger (wake pipe readable).
+  for (;;) {
+    pollfd p{wake_r_, POLLIN, 0};
+    const int rc = ::poll(&p, 1, -1);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc > 0 && (p.revents & POLLIN) != 0) break;
+    if (rc < 0) break;
+  }
+  obs::ScopedTimer timer("svc.server.shutdown");
+
+  // 1. Stop accepting: the accept loop sees the wake pipe readable (it
+  //    is never drained, so it latches for every poller) and returns.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 2. Stop the readers and join them BEFORE waiting on the service:
+  //    once every reader has returned, no further submission can race
+  //    past the drain wait. Readers normally exit via their own wake
+  //    poll; shutdown_read covers one blocked in read() that passed the
+  //    poll before the wake byte arrived. Connections stay open — only
+  //    the read side is shut, responses still flow.
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(conns_mu_);
+    conns.swap(conns_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& c : conns) c->shutdown_read();
+  for (auto& t : threads) t.join();
+
+  // 3. No new requests can arrive; refuse stragglers (library users
+  //    submitting directly) and wait until every admitted request has
+  //    written its response through the still-open connections.
+  service_.begin_drain();
+  service_.wait_drained();
+
+  // 4. Now, and only now, tear the connections down.
+  for (auto& c : conns) c->close_fds();
+  ran_ = true;
+}
+
+}  // namespace rat::svc

@@ -1,0 +1,99 @@
+// Transport for the prediction service: newline-delimited JSON over
+// stdio and/or a loopback TCP listener.
+//
+// The server owns threads and file descriptors only — every request
+// line is handed to the Service, and the Service's response callback
+// writes back to the originating connection (whole lines, under a
+// per-connection mutex, so pipelined responses never interleave).
+//
+// Lifecycle:
+//
+//   start()  bind 127.0.0.1:<port> (port 0 = ephemeral; port() tells
+//            you what was bound), spawn the accept thread and, in stdio
+//            mode, the stdin reader;
+//   run()    block until stop is triggered, then drain gracefully:
+//            1. readers stop pulling new requests (wake pipe),
+//            2. service.begin_drain() — late arrivals get
+//               E_SHUTTING_DOWN,
+//            3. service.wait_drained() — every admitted request's
+//               response is written,
+//            4. sockets close, threads join.
+//
+// Stop triggers: trigger_stop() from any thread, a shutdown op (the
+// server installs itself as the Service's shutdown handler), or a
+// signal handler writing one byte to wake_fd() — write(2) is
+// async-signal-safe, which is the entire reason the wake pipe exists.
+// rat_serve wires SIGINT/SIGTERM to exactly that.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svc/service.hpp"
+
+namespace rat::svc {
+
+struct ServerConfig {
+  bool tcp = true;        ///< listen on loopback TCP
+  int port = 0;           ///< 0 = ephemeral (read the result via port())
+  bool stdio = false;     ///< also serve stdin -> stdout
+  std::size_t max_line_bytes = 4u << 20;  ///< oversize lines are rejected
+                                          ///< and the connection closed
+};
+
+class Server {
+ public:
+  Server(Service& service, ServerConfig config);
+
+  /// Joins all threads; trigger_stop() + run() must have completed (the
+  /// destructor stops and joins as a backstop).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind/listen and spawn reader threads. Throws std::system_error when
+  /// the socket cannot be bound.
+  void start();
+
+  /// Bound TCP port (valid after start() when config.tcp).
+  int port() const { return port_; }
+
+  /// Write end of the wake pipe, for async-signal-safe stop requests:
+  /// a signal handler may write(wake_fd(), "x", 1).
+  int wake_fd() const { return wake_w_; }
+
+  /// Request stop from normal (non-signal) context.
+  void trigger_stop();
+
+  /// Block until stopped, then drain the service and tear down
+  /// connections (see file comment). Returns once fully drained.
+  void run();
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void add_connection(std::shared_ptr<Connection> conn, std::thread thread);
+
+  Service& service_;
+  ServerConfig config_;
+
+  int listen_fd_ = -1;
+  int wake_r_ = -1;
+  int wake_w_ = -1;
+  int port_ = -1;
+
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;
+  bool started_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace rat::svc

@@ -93,7 +93,11 @@ std::string Table::to_markdown() const {
 
 std::string Table::to_csv() const {
   auto escape = [](const std::string& s) {
-    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    // RFC 4180: quote any field containing a comma, quote, LF *or CR* —
+    // a bare '\r' (worksheet paths or diagnostics from CRLF sources) used
+    // to pass through unquoted and corrupt the row structure for readers
+    // that accept either line ending.
+    if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
     std::string out = "\"";
     for (char ch : s) {
       if (ch == '"') out += '"';

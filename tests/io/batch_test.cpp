@@ -131,6 +131,32 @@ TEST(Batch, CsvHasOneRowPerClockPlusErrorRows) {
   EXPECT_NE(csv.find(",ok,"), std::string::npos);
 }
 
+TEST(Batch, CsvQuotesFieldsPerRfc4180) {
+  // Worksheet names are free text, so commas and quotes can reach the
+  // CSV name column; they must come back quoted/doubled, not raw.
+  const fs::path dir = fresh_dir("batch_csv_rfc4180");
+  core::RatInputs in = core::pdf1d_inputs();
+  in.name = "pdf, \"tuned\"";
+  write_file(dir / "named.rat", in.serialize());
+  const std::string csv = batch_csv(run_batch_dir(dir));
+  EXPECT_NE(csv.find(",\"pdf, \"\"tuned\"\"\","), std::string::npos);
+  EXPECT_EQ(csv.find(",pdf, \"tuned\","), std::string::npos);
+  // Every data row still has the full column count when parsed per
+  // RFC 4180 (quotes honoured): count unquoted commas on the name row.
+  const std::size_t row_start = csv.find("named.rat");
+  ASSERT_NE(row_start, std::string::npos);
+  const std::size_t row_end = csv.find('\n', row_start);
+  std::size_t commas = 0;
+  bool quoted = false;
+  for (std::size_t i = row_start; i < row_end; ++i) {
+    if (csv[i] == '"') quoted = !quoted;
+    else if (csv[i] == ',' && !quoted) ++commas;
+  }
+  // 27 columns -> 26 separators (the row starts mid-path, after the
+  // first column's unquoted text, which contains no comma).
+  EXPECT_EQ(commas, 26u);
+}
+
 TEST(Batch, ExplicitFileListPreservesOrder) {
   const fs::path dir = mixed_fixture("batch_files");
   const BatchResult r =

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -256,6 +257,18 @@ TEST(ObsInstrumentation, ParallelMapRecordsChunksAndPoolActivity) {
   set_enabled(true);
   const auto out = util::parallel_map(
       64, [](std::size_t i) { return static_cast<double>(i) * 2.0; }, 2);
+  // The pool worker records pool.tasks_completed / pool.task *after* the
+  // task body releases the waiting caller, so those trailing records can
+  // land a moment after parallel_map returns. Wait for them (bounded)
+  // before disabling, or they would be dropped rather than late.
+  for (int i = 0; i < 1000; ++i) {
+    const auto snapshot = reg.counters();
+    const auto it = snapshot.find("pool.tasks_completed");
+    if (it != snapshot.end() && it->second >= 1u &&
+        reg.timers().count("pool.task") == 1u)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   set_enabled(false);
   ASSERT_EQ(out.size(), 64u);
   EXPECT_DOUBLE_EQ(out[63], 126.0);

@@ -1,0 +1,125 @@
+// Canonical worksheet fingerprinting: the cache key must depend on the
+// parsed inputs only — never on how the worksheet text was formatted —
+// and must differ whenever any input field differs.
+#include "svc/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/parameters.hpp"
+
+namespace rat::svc {
+namespace {
+
+void expect_same_inputs(const core::RatInputs& a, const core::RatInputs& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.dataset.elements_in, b.dataset.elements_in);
+  EXPECT_EQ(a.dataset.elements_out, b.dataset.elements_out);
+  EXPECT_EQ(a.dataset.bytes_per_element, b.dataset.bytes_per_element);
+  EXPECT_EQ(a.comm.ideal_bw_bytes_per_sec, b.comm.ideal_bw_bytes_per_sec);
+  EXPECT_EQ(a.comm.alpha_write, b.comm.alpha_write);
+  EXPECT_EQ(a.comm.alpha_read, b.comm.alpha_read);
+  EXPECT_EQ(a.comp.ops_per_element, b.comp.ops_per_element);
+  EXPECT_EQ(a.comp.throughput_ops_per_cycle, b.comp.throughput_ops_per_cycle);
+  ASSERT_EQ(a.comp.fclock_hz.size(), b.comp.fclock_hz.size());
+  for (std::size_t i = 0; i < a.comp.fclock_hz.size(); ++i)
+    EXPECT_EQ(a.comp.fclock_hz[i], b.comp.fclock_hz[i]);
+  EXPECT_EQ(a.software.tsoft_sec, b.software.tsoft_sec);
+  EXPECT_EQ(a.software.n_iterations, b.software.n_iterations);
+}
+
+// The canonicalization round-trip: serialize the parsed inputs, re-parse
+// the serialization, and land on identical inputs and an identical cache
+// fingerprint. Exercised on all three paper case studies.
+TEST(SvcFingerprint, SerializeParseRoundTripPreservesFingerprint) {
+  for (const core::RatInputs& original :
+       {core::pdf1d_inputs(), core::pdf2d_inputs(), core::md_inputs()}) {
+    const core::RatInputs reparsed =
+        core::RatInputs::parse(original.serialize());
+    expect_same_inputs(original, reparsed);
+    EXPECT_EQ(canonical_text(original), canonical_text(reparsed));
+    EXPECT_EQ(fingerprint(original), fingerprint(reparsed));
+  }
+}
+
+TEST(SvcFingerprint, FormattingDoesNotChangeFingerprint) {
+  const std::string base =
+      "name = fmt\n"
+      "elements_in = 512\n"
+      "elements_out = 1\n"
+      "bytes_per_element = 4\n"
+      "ideal_bw_bytes_per_sec = 1e9\n"
+      "alpha_write = 0.37\n"
+      "alpha_read = 0.16\n"
+      "ops_per_element = 768\n"
+      "throughput_ops_per_cycle = 20\n"
+      "fclock_hz = 75e6 100e6 150e6\n"
+      "tsoft_sec = 0.578\n"
+      "n_iterations = 400\n";
+  // Same design: reordered keys, comments, CRLF endings, extra spaces,
+  // and equivalent number spellings ("+7.5e7" vs "75e6"-scaled forms).
+  const std::string variant =
+      "# a comment\r\n"
+      "n_iterations =   400\r\n"
+      "tsoft_sec = 578e-3\r\n"
+      "fclock_hz =    7.5e7 1e8 15e7\r\n"
+      "throughput_ops_per_cycle = 2e1\r\n"
+      "ops_per_element = 768.0\r\n"
+      "alpha_read = 1.6e-1\r\n"
+      "alpha_write = 0.3700\r\n"
+      "ideal_bw_bytes_per_sec = 1000000000\r\n"
+      "bytes_per_element = 4.0\r\n"
+      "elements_out = 1\r\n"
+      "elements_in = 512\r\n"
+      "name = fmt\r\n";
+  const core::RatInputs a = core::RatInputs::parse(base);
+  const core::RatInputs b = core::RatInputs::parse(variant);
+  EXPECT_EQ(canonical_text(a), canonical_text(b));
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(SvcFingerprint, EveryFieldChangesTheFingerprint) {
+  const core::RatInputs base = core::pdf1d_inputs();
+  std::vector<core::RatInputs> mutants(11, base);
+  mutants[0].name += "!";
+  mutants[1].dataset.elements_in += 1;
+  mutants[2].dataset.elements_out += 1;
+  mutants[3].dataset.bytes_per_element += 1.0;
+  mutants[4].comm.ideal_bw_bytes_per_sec *= 2.0;
+  mutants[5].comm.alpha_write += 0.01;
+  mutants[6].comm.alpha_read += 0.01;
+  mutants[7].comp.ops_per_element += 1.0;
+  mutants[8].comp.throughput_ops_per_cycle += 1.0;
+  mutants[9].comp.fclock_hz.push_back(200e6);
+  mutants[10].software.tsoft_sec += 0.5;
+  for (const core::RatInputs& m : mutants) {
+    EXPECT_NE(canonical_text(base), canonical_text(m));
+    EXPECT_NE(fingerprint(base), fingerprint(m));
+  }
+}
+
+TEST(SvcFingerprint, ClockListOrderIsSignificant) {
+  // predict_all answers one prediction per clock in worksheet order, so a
+  // reordered clock list is a different request, not a cache hit.
+  core::RatInputs a = core::pdf1d_inputs();
+  core::RatInputs b = a;
+  std::swap(b.comp.fclock_hz.front(), b.comp.fclock_hz.back());
+  EXPECT_NE(canonical_text(a), canonical_text(b));
+}
+
+TEST(SvcFingerprint, Fnv1a64KnownVectors) {
+  // Published FNV-1a test vectors (offset basis for "", and "a").
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(SvcFingerprint, HexIsSixteenLowercaseDigits) {
+  EXPECT_EQ(fingerprint_hex(0), "0000000000000000");
+  EXPECT_EQ(fingerprint_hex(0xDEADBEEFull), "00000000deadbeef");
+  EXPECT_EQ(fingerprint_hex(~0ull), "ffffffffffffffff");
+}
+
+}  // namespace
+}  // namespace rat::svc

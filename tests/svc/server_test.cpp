@@ -1,0 +1,211 @@
+// Loopback TCP transport: end-to-end request/response, pipelining,
+// oversize-line rejection, and graceful drain delivering every admitted
+// response before the sockets close.
+#include "svc/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parameters.hpp"
+#include "io/json.hpp"
+
+namespace rat::svc {
+namespace {
+
+/// Blocking line-oriented loopback client.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+        << std::strerror(errno);
+  }
+
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_line(const std::string& line) {
+    std::string out = line;
+    out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::send(fd_, out.data() + off, out.size() - off, 0);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Next '\n'-terminated line, or nullopt on EOF.
+  std::optional<std::string> read_line() {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) return std::nullopt;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string evaluate_line(const std::string& id, const std::string& sheet) {
+  return "{\"id\":" + io::json_str(id) +
+         ",\"op\":\"evaluate\",\"worksheet\":" + io::json_str(sheet) + "}";
+}
+
+TEST(SvcServer, EvaluateOverLoopbackMatchesCacheSemantics) {
+  Service service;
+  Server server(service, {.port = 0});
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  Client client(server.port());
+  const std::string sheet = core::pdf1d_inputs().serialize();
+  client.send_line(evaluate_line("a", sheet));
+  const auto first = client.read_line();
+  ASSERT_TRUE(first.has_value());
+  client.send_line(evaluate_line("a", sheet));
+  const auto second = client.read_line();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, *second);  // byte-identical across miss and hit
+  EXPECT_EQ(service.stats().cache.hits, 1u);
+
+  server.trigger_stop();
+  server.run();
+  EXPECT_FALSE(client.read_line().has_value());  // server closed the socket
+}
+
+TEST(SvcServer, PipelinedRequestsEachGetOneResponse) {
+  Service service;
+  Server server(service, {.port = 0});
+  server.start();
+  Client client(server.port());
+  const std::string sheet = core::pdf2d_inputs().serialize();
+  constexpr int kRequests = 20;
+  for (int i = 0; i < kRequests; ++i)
+    client.send_line(evaluate_line("r" + std::to_string(i), sheet));
+  std::vector<std::string> ids;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto line = client.read_line();
+    ASSERT_TRUE(line.has_value());
+    const io::JsonValue doc = io::parse_json(*line);
+    EXPECT_EQ(doc.find("status")->string, "ok");
+    ids.push_back(doc.find("id")->string);
+  }
+  // Out-of-order delivery is legal; every id must appear exactly once.
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kRequests));
+  server.trigger_stop();
+  server.run();
+}
+
+TEST(SvcServer, MultipleConcurrentClients) {
+  Service service;
+  Server server(service, {.port = 0});
+  server.start();
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int c = 0; c < kClients; ++c)
+    threads.emplace_back([&, c] {
+      Client client(server.port());
+      client.send_line(evaluate_line(
+          "c" + std::to_string(c), core::md_inputs().serialize()));
+      const auto line = client.read_line();
+      if (line && line->find("\"status\":\"ok\"") != std::string::npos)
+        ok.fetch_add(1);
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+  server.trigger_stop();
+  server.run();
+}
+
+TEST(SvcServer, OversizeLineIsRejectedWithStructuredError) {
+  Service service;
+  Server server(service, {.port = 0, .max_line_bytes = 128});
+  server.start();
+  Client client(server.port());
+  client.send_line(evaluate_line("big", std::string(1024, 'x')));
+  const auto line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_NE(line->find("E_BAD_REQUEST"), std::string::npos);
+  EXPECT_NE(line->find("exceeds"), std::string::npos);
+  EXPECT_FALSE(client.read_line().has_value());  // connection closed
+  server.trigger_stop();
+  server.run();
+}
+
+TEST(SvcServer, DrainDeliversEveryAdmittedResponse) {
+  Service service;
+  Server server(service, {.port = 0});
+  server.start();
+  Client client(server.port());
+  constexpr int kRequests = 8;
+  for (int i = 0; i < kRequests; ++i)
+    client.send_line(evaluate_line("d" + std::to_string(i),
+                                   core::pdf1d_inputs().serialize()));
+  // Stop immediately: whatever was admitted must still be answered
+  // through the open socket before it closes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  server.trigger_stop();
+  server.run();
+
+  int answered = 0;
+  while (client.read_line().has_value()) ++answered;
+  const Service::Stats st = service.stats();
+  EXPECT_EQ(static_cast<std::uint64_t>(answered),
+            st.responses_ok + st.responses_error);
+  EXPECT_EQ(st.in_flight, 0u);
+  // No silent drops: every request the server read was answered.
+  EXPECT_EQ(st.requests, st.responses_ok + st.responses_error);
+}
+
+TEST(SvcServer, ShutdownOpDrainsTheWholeServer) {
+  Service service;
+  Server server(service, {.port = 0});
+  server.start();
+  std::thread runner([&] { server.run(); });
+  Client client(server.port());
+  client.send_line(evaluate_line("w", core::pdf1d_inputs().serialize()));
+  ASSERT_TRUE(client.read_line().has_value());
+  client.send_line("{\"id\":\"bye\",\"op\":\"shutdown\"}");
+  const auto ack = client.read_line();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_NE(ack->find("\"draining\":true"), std::string::npos);
+  runner.join();  // the shutdown op triggered the server's stop
+  EXPECT_FALSE(client.read_line().has_value());
+}
+
+}  // namespace
+}  // namespace rat::svc

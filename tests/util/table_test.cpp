@@ -63,6 +63,17 @@ TEST(Table, CsvEscaping) {
   EXPECT_NE(s.find("\"with,comma\",\"quote\"\"inside\"\n"), std::string::npos);
 }
 
+TEST(Table, CsvQuotesBareCarriageReturn) {
+  // RFC 4180 regression: a bare '\r' (e.g. a diagnostic rendered from a
+  // CRLF worksheet) must force quoting just like '\n', or readers that
+  // accept either line ending see a phantom row boundary.
+  Table t({"k", "v"});
+  t.add_row({"carriage\rreturn", "line\nfeed"});
+  const std::string s = t.to_csv();
+  EXPECT_NE(s.find("\"carriage\rreturn\",\"line\nfeed\"\n"),
+            std::string::npos);
+}
+
 TEST(Table, CsvRowsMatchDataRows) {
   Table t = sample();
   t.add_separator();  // separators must not appear in CSV
