@@ -9,9 +9,13 @@
 // resource tests.
 //
 // Usage: design_space_exploration [--goal=9] [--tolerance=2.0] [--threads=N]
-//                                 [--metrics=<path>]
+//                                 [--checkpoint=<path>] [--metrics=<path>]
 //   --threads=0 sizes the worker count automatically (RAT_THREADS override
 //   or hardware concurrency); the outcome is identical at any thread count.
+//   --checkpoint records every evaluated permutation in a durable campaign
+//   checkpoint (docs/STORE.md); rerunning after a crash replays completed
+//   points and produces byte-identical output. Changing the goal,
+//   tolerance or axes makes an old checkpoint stale (E_STALE_CHECKPOINT).
 //   --metrics (or the RAT_METRICS env var) writes a rat.metrics.v1 JSON
 //   document with designspace.* counters and evaluation timers.
 #include <cstdio>
@@ -22,7 +26,9 @@
 #include "core/designspace.hpp"
 #include "core/units.hpp"
 #include "obs/metrics.hpp"
+#include "store/error.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace rat;
@@ -30,6 +36,7 @@ int main(int argc, char** argv) {
   const double goal = cli.get_double("goal", 9.0);
   const double tolerance = cli.get_double("tolerance", 2.0);
   const std::size_t threads = cli.get_size_t("threads", 1, 0, 256);
+  const std::string checkpoint_path = cli.get_or("checkpoint", "");
 
   std::string metrics_path = cli.get_or("metrics", "");
   if (metrics_path.empty())
@@ -70,8 +77,21 @@ int main(int argc, char** argv) {
   core::Requirements req;
   req.min_speedup = goal;
   req.precision = core::PrecisionRequirements{tolerance, 12, 20, 0};
-  const auto result = core::explore_design_space(
-      axes, factory, req, rcsim::virtex4_lx100(), threads);
+
+  core::DesignSpaceCheckpoint ckpt;
+  core::DesignSpaceResult result;
+  try {
+    if (!checkpoint_path.empty()) ckpt.path = checkpoint_path;
+    result = core::explore_design_space(
+        axes, factory, req, rcsim::virtex4_lx100(), threads,
+        checkpoint_path.empty() ? nullptr : &ckpt);
+  } catch (const store::StoreError& e) {
+    std::fprintf(stderr, "design_space_exploration: %s\n", e.what());
+    return 1;
+  }
+  if (!checkpoint_path.empty())
+    std::fprintf(stderr, "checkpoint: restored %zu previously evaluated "
+                 "point(s)\n", result.points_restored);
 
   std::printf("explored %zu of %zu permutations (%zu skipped) against a "
               "%.1fx goal:\n\n%s\n",
@@ -90,6 +110,9 @@ int main(int argc, char** argv) {
   }
 
   if (!metrics_path.empty()) {
+    // Quiesce the pool so no worker's trailing counters miss the export.
+    if (util::ThreadPool* pool = util::ThreadPool::shared_if_created())
+      pool->wait_idle();
     obs::write_metrics_file(metrics_path);
     std::fprintf(stderr, "metrics (%s):\n%s", metrics_path.c_str(),
                  obs::summary_table().c_str());

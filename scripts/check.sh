@@ -15,27 +15,33 @@ for b in build/bench/bench_*; do
 done
 
 # ThreadSanitizer pass over the parallel evaluation engine, the
-# observability registry and the prediction service: a separate build tree
-# with -DRAT_SANITIZE=thread, building and running only the thread-pool +
-# determinism + obs + svc tests (the -R patterns match exactly the suites
-# in test_parallel, test_obs and test_svc). rat_serve is built here too so
-# the loopback soak below runs the server under TSan.
-echo "==== ThreadSanitizer pass (parallel + observability + service tests)"
+# observability registry, the prediction service and the durable store: a
+# separate build tree with -DRAT_SANITIZE=thread, building and running
+# only the thread-pool + determinism + obs + svc + store tests (the -R
+# patterns match exactly the suites in test_parallel, test_obs, test_svc
+# and test_store — the Store pattern covers the concurrent-put and
+# background-compaction suites). rat_serve is built here too so the
+# loopback soak below runs the server under TSan.
+echo "==== ThreadSanitizer pass (parallel + obs + service + store tests)"
 cmake -B build-tsan -G Ninja -DRAT_SANITIZE=thread
-cmake --build build-tsan --target test_parallel test_obs test_svc rat_serve
+cmake --build build-tsan --target test_parallel test_obs test_svc \
+  test_store rat_serve
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism|Obs|Svc)'
+  -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism|Obs|Svc|Store)'
 
-# ASan+UBSan pass over the worksheet ingestion path: the io tests (strict
-# parser, loaders, batch runner) plus the rat_batch binary, then a smoke
-# run on the checked-in fixture directory whose broken.rat must yield a
-# per-file file:line:column diagnostic and the documented exit code 2
-# (partial failure) while the three good worksheets still evaluate.
-echo "==== AddressSanitizer+UBSan pass (worksheet ingestion)"
+# ASan+UBSan pass over the worksheet ingestion path and the durable
+# store: the io tests (strict parser, loaders, batch runner + checkpoint
+# resume) and the store tests (including the recovery property suite,
+# which truncates journals at every byte boundary and bit-flips payloads)
+# plus the rat_batch binary, then a smoke run on the checked-in fixture
+# directory whose broken.rat must yield a per-file file:line:column
+# diagnostic and the documented exit code 2 (partial failure) while the
+# three good worksheets still evaluate.
+echo "==== AddressSanitizer+UBSan pass (worksheet ingestion + store)"
 cmake -B build-asan -G Ninja -DRAT_SANITIZE=address,undefined
-cmake --build build-asan --target test_io rat_batch
+cmake --build build-asan --target test_io test_store rat_batch
 ctest --test-dir build-asan --output-on-failure \
-  -R '^(LoadWorksheet|WorksheetDir|Batch)'
+  -R '^(LoadWorksheet|WorksheetDir|Batch|Store)'
 
 echo "==== rat_batch smoke (fixture directory with one malformed file)"
 smoke_out=$(mktemp)
@@ -173,5 +179,65 @@ grep -q '"id":"p","status":"ok","op":"ping"' "$stdio_out"
 grep -q '"id":"e","status":"ok","op":"evaluate"' "$stdio_out"
 [ "$(wc -l <"$stdio_out")" -eq 2 ]
 rm -f "$stdio_out"
+
+# Crash-recovery smoke (docs/STORE.md): a checkpointed rat_batch is
+# kill -9'd mid-campaign (throttled so evaluations are slow enough to
+# interrupt) and then resumed; the resumed run must restore at least one
+# recorded item and its JSON output must be byte-for-byte identical to
+# an uninterrupted run's. Uses the ASan+UBSan build so the recovery path
+# itself runs sanitized.
+echo "==== rat_batch kill -9 crash-recovery smoke (checkpoint resume)"
+crash_dir=$(mktemp -d)
+rc=0
+build-asan/src/apps/rat_batch --dir=tests/fixtures/worksheets --quiet \
+  --json="$crash_dir/plain.json" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ]  # broken.rat: documented partial-failure exit code
+build-asan/src/apps/rat_batch --dir=tests/fixtures/worksheets --quiet \
+  --checkpoint="$crash_dir/campaign.ckpt" --throttle-ms=300 \
+  --json="$crash_dir/interrupted.json" >/dev/null 2>&1 &
+batch_pid=$!
+# Wait for the first completed item to hit the checkpoint journal
+# (header + campaign record + one item record), then pull the plug.
+for _ in $(seq 200); do
+  size=$(stat -c %s "$crash_dir/campaign.ckpt" 2>/dev/null || echo 0)
+  [ "$size" -ge 150 ] && break
+  sleep 0.05
+done
+kill -9 "$batch_pid" 2>/dev/null || true
+wait "$batch_pid" 2>/dev/null || true
+rc=0
+build-asan/src/apps/rat_batch --dir=tests/fixtures/worksheets --quiet \
+  --checkpoint="$crash_dir/campaign.ckpt" \
+  --json="$crash_dir/resumed.json" >/dev/null 2>"$crash_dir/resume.err" \
+  || rc=$?
+[ "$rc" -eq 2 ]
+if ! grep -q 'checkpoint: restored [1-4] of 4' "$crash_dir/resume.err"; then
+  echo "rat_batch: resumed run restored nothing from the checkpoint"
+  cat "$crash_dir/resume.err"
+  exit 1
+fi
+cmp "$crash_dir/plain.json" "$crash_dir/resumed.json"
+echo "crash-recovery OK: $(grep -o 'restored [0-9] of 4' \
+  "$crash_dir/resume.err"), resumed JSON byte-identical"
+rm -rf "$crash_dir"
+
+# Warm-start smoke (docs/STORE.md): a --cache-dir server is run twice
+# over stdio on the same directory; the second boot must warm-start the
+# journaled entry and answer the same request byte-identically to the
+# first (cold) evaluation.
+echo "==== rat_serve warm-start byte-identity smoke (--cache-dir)"
+warm_dir=$(mktemp -d)
+req='{"schema":"rat.svc.v1","id":"w","op":"evaluate","file":"tests/fixtures/worksheets/pdf1d.rat"}'
+printf '%s\n' "$req" | timeout 60 build/src/apps/rat_serve --stdio \
+  --no-tcp --cache-dir="$warm_dir/cache" \
+  >"$warm_dir/cold.out" 2>"$warm_dir/cold.err"
+printf '%s\n' "$req" | timeout 60 build/src/apps/rat_serve --stdio \
+  --no-tcp --cache-dir="$warm_dir/cache" \
+  >"$warm_dir/warm.out" 2>"$warm_dir/warm.err"
+grep -q 'warm-started 0 cached result(s)' "$warm_dir/cold.err"
+grep -q 'warm-started 1 cached result(s)' "$warm_dir/warm.err"
+cmp "$warm_dir/cold.out" "$warm_dir/warm.out"
+echo "warm-start OK: 1 entry restored, response byte-identical"
+rm -rf "$warm_dir"
 
 echo "ALL CHECKS PASSED"

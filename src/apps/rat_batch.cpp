@@ -15,6 +15,14 @@
 //             [--threads=N]          0 = auto (RAT_THREADS override)
 //             [--mode=sb|db]         printed tables' buffering mode
 //             [--quiet]              summary + diagnostics only
+//             [--checkpoint=<path>]  durable campaign checkpoint
+//                                    (docs/STORE.md): record each
+//                                    completed worksheet; a rerun after a
+//                                    crash replays recorded results and
+//                                    only evaluates the remainder, with
+//                                    byte-identical output
+//             [--throttle-ms=N]      crash-drill hook: sleep N ms after
+//                                    each fresh evaluation (tests only)
 //             [--metrics=<path>]     collect observability metrics and
 //                                    write a rat.metrics.v1 JSON document
 //                                    (RAT_METRICS env var is an implicit
@@ -22,7 +30,8 @@
 //
 // Exit codes (documented in docs/WORKSHEET_FORMAT.md):
 //   0  every worksheet evaluated
-//   1  fatal: bad flags, unreadable directory, or no worksheets found
+//   1  fatal: bad flags, unreadable directory, no worksheets found, or a
+//      stale/corrupt --checkpoint (E_STALE_CHECKPOINT / E_STORE_CORRUPT)
 //   2  partial failure: at least one worksheet had a diagnostic
 #include <algorithm>
 #include <cstdio>
@@ -34,10 +43,12 @@
 #include "core/worksheet.hpp"
 #include "io/batch.hpp"
 #include "obs/metrics.hpp"
+#include "store/error.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/parallel_for.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -46,6 +57,7 @@ int usage(const char* program) {
                "usage: %s --dir=<worksheet dir> [files.rat ...] "
                "[--out=<dir>] [--json=<path>] [--csv=<path>] "
                "[--threads=N] [--mode=sb|db] [--quiet] "
+               "[--checkpoint=<path>] [--throttle-ms=N] "
                "[--metrics=<path>]\n",
                program);
   return 1;
@@ -69,8 +81,8 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
 
   static const std::vector<std::string> known{
-      "dir", "out", "json", "csv", "threads", "mode", "quiet", "metrics",
-      "help"};
+      "dir", "out", "json", "csv", "threads", "mode", "quiet", "checkpoint",
+      "throttle-ms", "metrics", "help"};
   for (const std::string& k : cli.keys()) {
     if (std::find(known.begin(), known.end(), k) == known.end()) {
       std::fprintf(stderr, "rat_batch: unknown flag --%s\n", k.c_str());
@@ -88,10 +100,17 @@ int main(int argc, char** argv) {
                                       : core::WorksheetMode::kDoubleBuffered;
 
   std::size_t n_threads = 0;
+  std::size_t throttle_ms = 0;
   try {
     n_threads = cli.get_size_t("threads", 0, 0, 4096);
+    throttle_ms = cli.get_size_t("throttle-ms", 0, 0, 60000);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rat_batch: %s\n", e.what());
+    return usage(argv[0]);
+  }
+  const std::string checkpoint_path = cli.get_or("checkpoint", "");
+  if (cli.has("checkpoint") && checkpoint_path.empty()) {
+    std::fprintf(stderr, "rat_batch: --checkpoint needs a path\n");
     return usage(argv[0]);
   }
 
@@ -129,7 +148,23 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
-  const io::BatchResult result = io::run_batch(files, n_threads);
+  io::BatchOptions options;
+  options.n_threads = n_threads;
+  options.throttle_ms = static_cast<unsigned>(throttle_ms);
+  if (!checkpoint_path.empty())
+    options.checkpoint = io::BatchCheckpointConfig{checkpoint_path};
+
+  io::BatchResult result;
+  try {
+    result = io::run_batch(files, options);
+  } catch (const store::StoreError& e) {
+    // Stale / corrupt / unwritable checkpoint: structured E_* message.
+    std::fprintf(stderr, "rat_batch: %s\n", e.what());
+    return 1;
+  }
+  if (!checkpoint_path.empty())
+    std::fprintf(stderr, "rat_batch: checkpoint: restored %zu of %zu\n",
+                 result.n_restored, result.entries.size());
 
   // Per-file summary table on stdout, one diagnostic per line on stderr.
   util::Table summary({"file", "status", "name", "clocks",
@@ -185,6 +220,11 @@ int main(int argc, char** argv) {
     write_failed |= !write_file(cli.get("csv").value(), batch_csv(result));
 
   if (!metrics_path.empty()) {
+    // Quiesce the pool first: a worker's trailing counters land after the
+    // parallel region's completion signal, so exporting immediately could
+    // miss them on a busy machine.
+    if (util::ThreadPool* pool = util::ThreadPool::shared_if_created())
+      pool->wait_idle();
     write_failed |= !obs::write_metrics_file(metrics_path);
     // Summary on stderr: stdout stays reserved for the batch tables.
     std::fprintf(stderr, "metrics (%s):\n%s", metrics_path.c_str(),

@@ -1,12 +1,38 @@
 #include "core/designspace.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "core/units.hpp"
 #include "obs/metrics.hpp"
+#include "store/checkpoint.hpp"
+#include "store/checksum.hpp"
 #include "util/format.hpp"
 
 namespace rat::core {
+
+namespace {
+
+/// Campaign identity of one exploration: the swept axes plus everything
+/// the evaluation depends on (requirements + device). Any change makes an
+/// existing checkpoint stale rather than silently mixing two sweeps.
+std::uint64_t designspace_campaign_fingerprint(const DesignAxes& axes,
+                                               const Requirements& req,
+                                               const rcsim::Device& device) {
+  store::Fnv1a fp;
+  fp.add_string("rat.designspace.v1");
+  fp.add_u64(axes.parallelism.size());
+  for (std::size_t p : axes.parallelism) fp.add_u64(p);
+  fp.add_u64(axes.fclock_hz.size());
+  for (double f : axes.fclock_hz) fp.add_double(f);
+  fp.add_u64(axes.format_bits.size());
+  for (int b : axes.format_bits)
+    fp.add_u64(static_cast<std::uint64_t>(b));
+  fp.add_u64(requirements_fingerprint(req, device));
+  return fp.value();
+}
+
+}  // namespace
 
 std::string DesignPoint::label() const {
   return std::to_string(parallelism) + "x @ " +
@@ -56,7 +82,8 @@ DesignSpaceResult explore_design_space(const DesignAxes& axes,
                                        const CandidateFactory& factory,
                                        const Requirements& requirements,
                                        const rcsim::Device& device,
-                                       std::size_t n_threads) {
+                                       std::size_t n_threads,
+                                       const DesignSpaceCheckpoint* checkpoint) {
   obs::ScopedTimer timer("designspace.explore");
   DesignSpaceResult result;
   result.points_total = axes.size();
@@ -72,7 +99,20 @@ DesignSpaceResult explore_design_space(const DesignAxes& axes,
     reg.add_counter("designspace.points_skipped", result.points_skipped);
     reg.add_counter("designspace.points_evaluated", candidates.size());
   }
-  result.outcome = run_methodology(candidates, requirements, device, n_threads);
+  std::optional<store::CampaignCheckpoint> ckpt;
+  if (checkpoint != nullptr) {
+    store::CampaignCheckpoint::Options opts;
+    opts.sync_every_append = checkpoint->sync_every_append;
+    ckpt.emplace(checkpoint->path, "rat.designspace.v1",
+                 designspace_campaign_fingerprint(axes, requirements, device),
+                 opts);
+  }
+  result.outcome =
+      run_methodology(candidates, requirements, device, n_threads,
+                      ckpt ? &*ckpt : nullptr, &result.points_restored);
+  if (obs::enabled() && ckpt)
+    obs::Registry::global().add_counter("designspace.points_restored",
+                                        result.points_restored);
   return result;
 }
 

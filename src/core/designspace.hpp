@@ -10,6 +10,7 @@
 // passing design.
 #pragma once
 
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <vector>
@@ -63,16 +64,34 @@ struct DesignSpaceResult {
   /// Labels of the skipped points, in enumeration order
   /// (size() == points_skipped).
   std::vector<std::string> skipped_labels;
+  /// Candidates replayed from the checkpoint instead of evaluated
+  /// (0 when no checkpoint was given).
+  std::size_t points_restored = 0;
+};
+
+/// Checkpoint configuration for a resumable exploration (docs/STORE.md).
+/// The campaign identity covers the axes, the requirements and the
+/// device, so a checkpoint written for one sweep is rejected
+/// (E_STALE_CHECKPOINT) when any of them change.
+struct DesignSpaceCheckpoint {
+  std::filesystem::path path;
+  bool sync_every_append = true;
 };
 
 /// @p n_threads > 1 (or 0 = auto) evaluates the enumerated candidates
 /// concurrently; results are merged in enumeration order, so the outcome
 /// (cheapest passing design, trace, predictions) is byte-identical to the
 /// serial run. Factories and precision kernels must then be thread-safe.
-DesignSpaceResult explore_design_space(const DesignAxes& axes,
-                                       const CandidateFactory& factory,
-                                       const Requirements& requirements,
-                                       const rcsim::Device& device,
-                                       std::size_t n_threads = 1);
+///
+/// @p checkpoint, when non-null, records every completed candidate in a
+/// durable campaign checkpoint; rerunning after a crash replays recorded
+/// evaluations (points_restored counts them) and produces a byte-identical
+/// DesignSpaceResult. Throws store::StoreError (kStaleCheckpoint /
+/// kCorrupt / kIo) when the checkpoint cannot be used.
+DesignSpaceResult explore_design_space(
+    const DesignAxes& axes, const CandidateFactory& factory,
+    const Requirements& requirements, const rcsim::Device& device,
+    std::size_t n_threads = 1,
+    const DesignSpaceCheckpoint* checkpoint = nullptr);
 
 }  // namespace rat::core

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
+#include "store/checkpoint.hpp"
+#include "store/checksum.hpp"
+#include "store/codec.hpp"
 #include "util/format.hpp"
 #include "util/parallel_for.hpp"
 
@@ -134,15 +138,170 @@ CandidateEvaluation evaluate_candidate(std::size_t i,
   return ev;
 }
 
+// --- Checkpoint payload codec -------------------------------------------
+//
+// One CandidateEvaluation per checkpoint item, every double as its exact
+// bit pattern and every trace string verbatim, so a replayed evaluation
+// merges into a byte-identical MethodologyOutcome.
+
+constexpr std::uint8_t kMaxStep = static_cast<std::uint8_t>(Step::kRejected);
+constexpr std::uint8_t kMaxReject =
+    static_cast<std::uint8_t>(RejectReason::kInsufficientEnergySavings);
+
+std::string encode_evaluation(const CandidateEvaluation& ev) {
+  std::string out;
+  store::put_u32(out, static_cast<std::uint32_t>(ev.trace.size()));
+  for (const TraceEntry& e : ev.trace) {
+    store::put_u64(out, e.candidate_index);
+    store::put_string(out, e.candidate_name);
+    store::put_u8(out, static_cast<std::uint8_t>(e.step));
+    store::put_u8(out, e.passed ? 1 : 0);
+    store::put_string(out, e.detail);
+  }
+  const ThroughputPrediction& p = ev.prediction;
+  for (double v : {p.fclock_hz, p.t_write_sec, p.t_read_sec, p.t_comm_sec,
+                   p.t_comp_sec, p.t_rc_sb_sec, p.t_rc_db_sec, p.speedup_sb,
+                   p.speedup_db, p.util_comp_sb, p.util_comm_sb,
+                   p.util_comp_db, p.util_comm_db})
+    store::put_f64(out, v);
+  store::put_u8(out, ev.passed ? 1 : 0);
+  store::put_u8(out, static_cast<std::uint8_t>(ev.reject));
+  return out;
+}
+
+CandidateEvaluation decode_evaluation(std::string_view payload) {
+  store::Cursor cur(payload);
+  CandidateEvaluation ev;
+  const std::uint32_t n_trace = cur.u32();
+  ev.trace.reserve(n_trace);
+  for (std::uint32_t t = 0; t < n_trace; ++t) {
+    TraceEntry e;
+    e.candidate_index = static_cast<std::size_t>(cur.u64());
+    e.candidate_name = cur.string();
+    const std::uint8_t step = cur.u8();
+    if (step > kMaxStep)
+      throw store::StoreError(store::StoreErrorCode::kCorrupt, "",
+                              "checkpoint trace step out of range");
+    e.step = static_cast<Step>(step);
+    e.passed = cur.u8() != 0;
+    e.detail = cur.string();
+    ev.trace.push_back(std::move(e));
+  }
+  ThroughputPrediction& p = ev.prediction;
+  for (double* v : {&p.fclock_hz, &p.t_write_sec, &p.t_read_sec,
+                    &p.t_comm_sec, &p.t_comp_sec, &p.t_rc_sb_sec,
+                    &p.t_rc_db_sec, &p.speedup_sb, &p.speedup_db,
+                    &p.util_comp_sb, &p.util_comm_sb, &p.util_comp_db,
+                    &p.util_comm_db})
+    *v = cur.f64();
+  ev.passed = cur.u8() != 0;
+  const std::uint8_t reject = cur.u8();
+  if (reject > kMaxReject)
+    throw store::StoreError(store::StoreErrorCode::kCorrupt, "",
+                            "checkpoint reject reason out of range");
+  ev.reject = static_cast<RejectReason>(reject);
+  cur.expect_done();
+  return ev;
+}
+
+/// Replay a recorded evaluation, or evaluate and record a fresh one.
+CandidateEvaluation evaluate_or_restore(std::size_t i,
+                                        const DesignCandidate& cand,
+                                        const Requirements& req,
+                                        const rcsim::Device& device,
+                                        store::CampaignCheckpoint* checkpoint,
+                                        bool* restored) {
+  if (checkpoint != nullptr) {
+    const std::uint64_t fp = candidate_fingerprint(cand);
+    if (const std::string* payload = checkpoint->restored_payload(i, fp)) {
+      if (restored != nullptr) *restored = true;
+      return decode_evaluation(*payload);
+    }
+    CandidateEvaluation ev = evaluate_candidate(i, cand, req, device);
+    checkpoint->record(i, fp, encode_evaluation(ev));
+    return ev;
+  }
+  return evaluate_candidate(i, cand, req, device);
+}
+
 }  // namespace
+
+std::uint64_t candidate_fingerprint(const DesignCandidate& cand) {
+  store::Fnv1a fp;
+  fp.add_string("rat.candidate.v1");
+  const RatInputs& in = cand.inputs;
+  fp.add_string(in.name);
+  fp.add_u64(in.dataset.elements_in);
+  fp.add_u64(in.dataset.elements_out);
+  fp.add_double(in.dataset.bytes_per_element);
+  fp.add_double(in.comm.ideal_bw_bytes_per_sec);
+  fp.add_double(in.comm.alpha_write);
+  fp.add_double(in.comm.alpha_read);
+  fp.add_double(in.comp.ops_per_element);
+  fp.add_double(in.comp.throughput_ops_per_cycle);
+  fp.add_u64(in.comp.fclock_hz.size());
+  for (double f : in.comp.fclock_hz) fp.add_double(f);
+  fp.add_double(in.software.tsoft_sec);
+  fp.add_u64(in.software.n_iterations);
+  fp.add_double(cand.decision_clock_hz);
+  fp.add_u64(cand.resources.size());
+  for (const ResourceItem& r : cand.resources) {
+    fp.add_string(r.name);
+    fp.add_u64(static_cast<std::uint64_t>(r.multiplier_count));
+    fp.add_u64(static_cast<std::uint64_t>(r.multiplier_bits));
+    fp.add_u64(static_cast<std::uint64_t>(r.buffer_bytes));
+    fp.add_u64(static_cast<std::uint64_t>(r.logic_elements));
+    fp.add_u64(static_cast<std::uint64_t>(r.instances));
+  }
+  fp.add_u64(cand.precision_reference.size());
+  for (double v : cand.precision_reference) fp.add_double(v);
+  // The kernel itself is opaque; its presence at least distinguishes
+  // precision-tested candidates from throughput-only ones.
+  fp.add_u64(cand.precision_kernel ? 1 : 0);
+  return fp.value();
+}
+
+std::uint64_t requirements_fingerprint(const Requirements& req,
+                                       const rcsim::Device& device) {
+  store::Fnv1a fp;
+  fp.add_string("rat.requirements.v1");
+  fp.add_double(req.min_speedup);
+  fp.add_u64(req.double_buffered ? 1 : 0);
+  fp.add_u64(req.precision ? 1 : 0);
+  if (req.precision) {
+    fp.add_double(req.precision->max_error_percent);
+    fp.add_u64(static_cast<std::uint64_t>(req.precision->min_total_bits));
+    fp.add_u64(static_cast<std::uint64_t>(req.precision->max_total_bits));
+    fp.add_u64(static_cast<std::uint64_t>(req.precision->int_bits));
+    // kernel_thread_safe affects scheduling only, never results.
+  }
+  fp.add_double(req.practical_fill_limit);
+  fp.add_u64(req.min_energy_ratio ? 1 : 0);
+  if (req.min_energy_ratio) fp.add_double(*req.min_energy_ratio);
+  fp.add_double(req.power_model.static_watts);
+  fp.add_double(req.power_model.watts_per_dsp_100mhz);
+  fp.add_double(req.power_model.watts_per_bram_100mhz);
+  fp.add_double(req.power_model.watts_per_klogic_100mhz);
+  fp.add_double(req.power_model.io_watts);
+  fp.add_double(req.host_power_model.busy_watts);
+  fp.add_double(req.host_power_model.idle_watts);
+  fp.add_string(device.name);
+  fp.add_u64(static_cast<std::uint64_t>(device.family));
+  fp.add_u64(static_cast<std::uint64_t>(device.inventory.dsp));
+  fp.add_u64(static_cast<std::uint64_t>(device.inventory.bram));
+  fp.add_u64(static_cast<std::uint64_t>(device.inventory.logic));
+  return fp.value();
+}
 
 MethodologyOutcome run_methodology(
     const std::vector<DesignCandidate>& candidates, const Requirements& req,
-    const rcsim::Device& device, std::size_t n_threads) {
+    const rcsim::Device& device, std::size_t n_threads,
+    store::CampaignCheckpoint* checkpoint, std::size_t* n_restored) {
   if (candidates.empty())
     throw std::invalid_argument("run_methodology: no candidates");
   if (req.min_speedup <= 0.0)
     throw std::invalid_argument("run_methodology: min_speedup <= 0");
+  if (n_restored != nullptr) *n_restored = 0;
 
   MethodologyOutcome out;
   // Append one candidate's results in enumeration order; true = accepted,
@@ -162,9 +321,13 @@ MethodologyOutcome run_methodology(
   const std::size_t threads =
       std::min(util::resolve_thread_count(n_threads), candidates.size());
   if (threads <= 1) {
-    for (std::size_t i = 0; i < candidates.size(); ++i)
-      if (absorb(i, evaluate_candidate(i, candidates[i], req, device)))
-        return out;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      bool restored = false;
+      CandidateEvaluation ev = evaluate_or_restore(
+          i, candidates[i], req, device, checkpoint, &restored);
+      if (restored && n_restored != nullptr) ++*n_restored;
+      if (absorb(i, std::move(ev))) return out;
+    }
     return out;  // all permutations exhausted without a satisfactory solution
   }
 
@@ -174,15 +337,23 @@ MethodologyOutcome run_methodology(
   const std::size_t window = threads * 4;
   for (std::size_t start = 0; start < candidates.size(); start += window) {
     const std::size_t count = std::min(window, candidates.size() - start);
+    // One flag per item, each written by exactly one worker — no race.
+    std::vector<unsigned char> restored(count, 0);
     auto evals = util::parallel_map(
         count,
         [&](std::size_t k) {
-          return evaluate_candidate(start + k, candidates[start + k], req,
-                                    device);
+          bool r = false;
+          CandidateEvaluation ev =
+              evaluate_or_restore(start + k, candidates[start + k], req,
+                                  device, checkpoint, &r);
+          restored[k] = r ? 1 : 0;
+          return ev;
         },
         threads);
-    for (std::size_t k = 0; k < count; ++k)
+    for (std::size_t k = 0; k < count; ++k) {
+      if (restored[k] && n_restored != nullptr) ++*n_restored;
       if (absorb(start + k, std::move(evals[k]))) return out;
+    }
   }
   return out;  // all permutations exhausted without a satisfactory solution
 }

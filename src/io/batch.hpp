@@ -11,8 +11,10 @@
 
 #include <cstddef>
 #include <filesystem>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/throughput.hpp"
@@ -25,6 +27,8 @@ namespace rat::io {
 struct BatchEntry {
   LoadResult load;
   std::vector<core::ThroughputPrediction> predictions;
+  /// Replayed from a checkpoint instead of evaluated this run.
+  bool restored = false;
 
   bool ok() const { return load.ok(); }
 };
@@ -34,19 +38,45 @@ struct BatchResult {
   std::vector<BatchEntry> entries;
   std::size_t n_ok = 0;
   std::size_t n_failed = 0;
+  std::size_t n_restored = 0;  ///< entries replayed from the checkpoint
 
   bool all_ok() const { return n_failed == 0; }
 };
 
+/// Checkpoint/resume configuration for run_batch (docs/STORE.md). The
+/// campaign identity is the ordered file list; each item's identity is
+/// its raw worksheet bytes, so editing a file between runs is rejected
+/// as E_STALE_CHECKPOINT rather than silently replaying a result for
+/// data that changed. Unreadable files are never checkpointed — they are
+/// retried on every resume.
+struct BatchCheckpointConfig {
+  std::filesystem::path path;
+  bool sync_every_append = true;
+};
+
+struct BatchOptions {
+  std::size_t n_threads = 0;  ///< 0 = auto (RAT_THREADS / hardware)
+  std::optional<BatchCheckpointConfig> checkpoint;
+  /// Crash-drill hook (scripts/check.sh): sleep this long after each
+  /// *fresh* evaluation so a kill -9 reliably lands mid-campaign.
+  /// Restored entries never sleep.
+  unsigned throttle_ms = 0;
+};
+
 /// Evaluate each file (load_worksheet + predict_all), in parallel across
-/// the pool. @p n_threads 0 = auto (RAT_THREADS / hardware_concurrency).
-/// Never throws for a bad file — see BatchEntry::load.diagnostic.
+/// the pool. Never throws for a bad file — see BatchEntry::load
+/// .diagnostic; with a checkpoint, throws store::StoreError for a stale
+/// or unusable checkpoint file.
+BatchResult run_batch(const std::vector<std::filesystem::path>& files,
+                      const BatchOptions& options);
 BatchResult run_batch(const std::vector<std::filesystem::path>& files,
                       std::size_t n_threads = 0);
 
 /// run_batch over every "*.rat" file directly inside @p dir, sorted by
 /// path. Throws core::ParseError (E_IO) only when the directory itself is
 /// missing or unreadable.
+BatchResult run_batch_dir(const std::filesystem::path& dir,
+                          const BatchOptions& options);
 BatchResult run_batch_dir(const std::filesystem::path& dir,
                           std::size_t n_threads = 0);
 
@@ -64,5 +94,14 @@ void append_inputs_json(std::ostream& os, const core::RatInputs& inputs);
 void append_prediction_json(std::ostream& os,
                             const core::ThroughputPrediction& prediction);
 void append_diagnostic_json(std::ostream& os, const core::Diagnostic& d);
+
+/// rat.store.v1 predictions payload: u32 count, then 13 f64 bit patterns
+/// per prediction in declaration order. Exact IEEE-754 round-trip — the
+/// basis for byte-identical checkpoint resume and cache warm-start.
+/// decode throws store::StoreError(kCorrupt) on malformed payloads.
+std::string encode_predictions(
+    const std::vector<core::ThroughputPrediction>& predictions);
+std::vector<core::ThroughputPrediction> decode_predictions(
+    std::string_view payload);
 
 }  // namespace rat::io

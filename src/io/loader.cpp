@@ -17,7 +17,7 @@ core::Diagnostic io_diagnostic(const std::filesystem::path& path,
 
 }  // namespace
 
-core::RatInputs load_worksheet(const std::filesystem::path& path) {
+std::string read_worksheet_text(const std::filesystem::path& path) {
   std::error_code ec;
   if (!std::filesystem::is_regular_file(path, ec))
     throw core::ParseError(
@@ -30,18 +30,26 @@ core::RatInputs load_worksheet(const std::filesystem::path& path) {
   os << f.rdbuf();
   if (f.bad())
     throw core::ParseError(io_diagnostic(path, "read error"));
+  return os.str();
+}
 
-  core::RatInputs in = core::RatInputs::parse(os.str(), path.string());
+core::RatInputs parse_worksheet_text(const std::string& text,
+                                     const std::string& origin) {
+  core::RatInputs in = core::RatInputs::parse(text, origin);
   try {
     in.validate();
   } catch (const std::invalid_argument& e) {
     // The worksheet parsed but a value is outside its documented domain;
     // keep the file context so batch diagnostics stay actionable.
-    throw core::ParseError({path.string(), 0, 0,
+    throw core::ParseError({origin, 0, 0,
                             core::ParseErrorCode::kInvalidValue, "",
                             e.what()});
   }
   return in;
+}
+
+core::RatInputs load_worksheet(const std::filesystem::path& path) {
+  return parse_worksheet_text(read_worksheet_text(path), path.string());
 }
 
 std::vector<LoadResult> load_worksheet_dir(

@@ -27,6 +27,17 @@ inline constexpr const char* kWorksheetExtension = ".rat";
 /// and values rejected by RatInputs::validate() (E_INVALID_VALUE).
 core::RatInputs load_worksheet(const std::filesystem::path& path);
 
+/// The two halves of load_worksheet, split so checkpoint/resume can hash
+/// the raw bytes between them (io/batch.hpp): identical bytes through
+/// parse_worksheet_text yield identical RatInputs *and* identical
+/// diagnostics, which is what makes a resumed batch byte-identical to an
+/// uninterrupted one. read throws E_IO; parse throws the same grammar /
+/// E_INVALID_VALUE diagnostics as load_worksheet, attributed to
+/// @p origin.
+std::string read_worksheet_text(const std::filesystem::path& path);
+core::RatInputs parse_worksheet_text(const std::string& text,
+                                     const std::string& origin);
+
 /// One file's outcome from load_worksheet_dir: exactly one of inputs /
 /// diagnostic is set.
 struct LoadResult {

@@ -1,0 +1,117 @@
+#include "store/checkpoint.hpp"
+
+#include <utility>
+
+#include "store/codec.hpp"
+
+namespace rat::store {
+
+namespace {
+
+// Record payload tags.
+constexpr std::uint8_t kOpHeader = 0;  // kind | campaign_fp
+constexpr std::uint8_t kOpItem = 1;    // index | item_fp | payload
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4) s[i] = digits[v & 0xF];
+  return s;
+}
+
+std::string encode_header(std::string_view kind, std::uint64_t campaign_fp) {
+  std::string p;
+  put_u8(p, kOpHeader);
+  put_string(p, kind);
+  put_u64(p, campaign_fp);
+  return p;
+}
+
+}  // namespace
+
+CampaignCheckpoint::CampaignCheckpoint(const std::filesystem::path& path,
+                                       std::string_view kind,
+                                       std::uint64_t campaign_fp,
+                                       Options options)
+    : path_(path) {
+  if (path_.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path_.parent_path(), ec);
+    if (ec)
+      throw StoreError(StoreErrorCode::kIo, path_.string(),
+                       "cannot create checkpoint directory: " + ec.message());
+  }
+
+  RecoveredJournal recovered;
+  journal_.emplace(path_, JournalWriter::Options{options.sync_every_append},
+                   &recovered);
+
+  if (recovered.records.empty()) {
+    journal_->append(encode_header(kind, campaign_fp));
+    return;
+  }
+
+  // First surviving record must be the campaign header.
+  {
+    Cursor cur(recovered.records.front().payload);
+    if (cur.u8() != kOpHeader)
+      throw StoreError(StoreErrorCode::kCorrupt, path_.string(),
+                       "checkpoint does not start with a campaign header");
+    const std::string file_kind = cur.string();
+    const std::uint64_t file_fp = cur.u64();
+    cur.expect_done();
+    if (file_kind != kind || file_fp != campaign_fp)
+      throw StoreError(
+          StoreErrorCode::kStaleCheckpoint, path_.string(),
+          "checkpoint belongs to campaign " + file_kind + "/" +
+              hex64(file_fp) + ", current campaign is " + std::string(kind) +
+              "/" + hex64(campaign_fp) +
+              "; delete the checkpoint to start over");
+  }
+
+  for (std::size_t i = 1; i < recovered.records.size(); ++i) {
+    Cursor cur(recovered.records[i].payload);
+    if (cur.u8() != kOpItem)
+      throw StoreError(StoreErrorCode::kCorrupt, path_.string(),
+                       "unexpected record kind at record " +
+                           std::to_string(i));
+    const std::uint64_t index = cur.u64();
+    Item item;
+    item.item_fp = cur.u64();
+    item.payload = cur.string();
+    cur.expect_done();
+    restored_[index] = std::move(item);
+  }
+}
+
+const std::string* CampaignCheckpoint::restored_payload(
+    std::uint64_t index, std::uint64_t item_fp) const {
+  const auto it = restored_.find(index);
+  if (it == restored_.end()) return nullptr;
+  if (it->second.item_fp != item_fp)
+    throw StoreError(
+        StoreErrorCode::kStaleCheckpoint, path_.string(),
+        "work item " + std::to_string(index) + " was recorded for input " +
+            hex64(it->second.item_fp) + " but the input is now " +
+            hex64(item_fp) + "; delete the checkpoint to start over");
+  return &it->second.payload;
+}
+
+void CampaignCheckpoint::record(std::uint64_t index, std::uint64_t item_fp,
+                                std::string_view payload) {
+  std::string p;
+  p.reserve(1 + 16 + 4 + payload.size());
+  put_u8(p, kOpItem);
+  put_u64(p, index);
+  put_u64(p, item_fp);
+  put_string(p, payload);
+  std::lock_guard<std::mutex> lk(mu_);
+  journal_->append(p);
+}
+
+void CampaignCheckpoint::sync() {
+  std::lock_guard<std::mutex> lk(mu_);
+  journal_->sync();
+}
+
+}  // namespace rat::store

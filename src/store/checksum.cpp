@@ -1,0 +1,67 @@
+#include "store/checksum.hpp"
+
+#include <array>
+#include <bit>
+
+namespace rat::store {
+
+namespace {
+
+/// Byte-at-a-time table for the reflected Castagnoli polynomial.
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ p[i]) & 0xFFu];
+  return ~crc;
+}
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Fnv1a& Fnv1a::add_bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h_ ^= p[i];
+    h_ *= 1099511628211ull;
+  }
+  return *this;
+}
+
+Fnv1a& Fnv1a::add_u64(std::uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  return add_bytes(bytes, sizeof bytes);
+}
+
+Fnv1a& Fnv1a::add_double(double v) {
+  return add_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+Fnv1a& Fnv1a::add_string(std::string_view s) {
+  add_u64(s.size());
+  return add_bytes(s.data(), s.size());
+}
+
+}  // namespace rat::store

@@ -10,6 +10,16 @@ void obs_count(const char* name) {
   if (obs::enabled()) obs::Registry::global().add_counter(name);
 }
 
+/// Approximate resident footprint of one entry: key bytes plus the
+/// prediction vector's payload (bookkeeping overhead excluded — the
+/// gauge tracks growth, it is not an allocator audit).
+std::uint64_t entry_bytes(const std::string& key,
+                          const ResultCache::Value& value) {
+  std::uint64_t n = key.size();
+  if (value) n += value->size() * sizeof(core::ThroughputPrediction);
+  return n;
+}
+
 }  // namespace
 
 ResultCache::ResultCache(std::size_t capacity, std::size_t n_shards)
@@ -26,56 +36,79 @@ ResultCache::ResultCache(std::size_t capacity, std::size_t n_shards)
 ResultCache::Value ResultCache::get(const std::string& key,
                                     std::uint64_t fp) {
   Shard& s = shard_for(fp);
+  Value found;
   {
     std::lock_guard lock(s.mu);
     auto it = s.index.find(key);
     if (it != s.index.end()) {
       // Refresh: move to the front of the shard's LRU list.
       s.lru.splice(s.lru.begin(), s.lru, it->second);
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      obs_count("svc.cache.hit");
-      return it->second->second;
+      found = it->second->second;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  obs_count("svc.cache.miss");
-  return nullptr;
+  if (found) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    obs_count("svc.cache.hit");
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs_count("svc.cache.miss");
+  }
+  if (obs::enabled())
+    obs::Registry::global().set_gauge("svc.cache.hit_ratio",
+                                      hit_ratio(stats()));
+  return found;
 }
 
-void ResultCache::put(const std::string& key, std::uint64_t fp,
-                      Value value) {
-  if (per_shard_capacity_ == 0) return;
+ResultCache::PutOutcome ResultCache::put(const std::string& key,
+                                         std::uint64_t fp, Value value) {
+  if (per_shard_capacity_ == 0) return PutOutcome::kDropped;
   Shard& s = shard_for(fp);
-  bool evicted = false;
-  bool inserted = false;
+  const std::uint64_t new_bytes = entry_bytes(key, value);
+  std::int64_t bytes_delta = 0;
+  PutOutcome outcome;
   {
     std::lock_guard lock(s.mu);
     auto it = s.index.find(key);
     if (it != s.index.end()) {
       // Concurrent miss on the same key: both computed, results are
       // deterministic, so refreshing the existing entry is equivalent.
+      bytes_delta =
+          static_cast<std::int64_t>(new_bytes) -
+          static_cast<std::int64_t>(entry_bytes(key, it->second->second));
       it->second->second = std::move(value);
       s.lru.splice(s.lru.begin(), s.lru, it->second);
+      outcome = PutOutcome::kRefreshed;
     } else {
+      bytes_delta = static_cast<std::int64_t>(new_bytes);
       if (s.lru.size() >= per_shard_capacity_) {
+        bytes_delta -= static_cast<std::int64_t>(
+            entry_bytes(s.lru.back().first, s.lru.back().second));
         s.index.erase(s.lru.back().first);
         s.lru.pop_back();
-        evicted = true;
+        outcome = PutOutcome::kInsertedEvicting;
+      } else {
+        outcome = PutOutcome::kInserted;
       }
       s.lru.emplace_front(key, std::move(value));
       s.index.emplace(key, s.lru.begin());
-      inserted = true;
     }
   }
-  if (evicted) {
+  if (outcome == PutOutcome::kInsertedEvicting) {
     evictions_.fetch_add(1, std::memory_order_relaxed);
     obs_count("svc.cache.eviction");
   }
-  if (inserted && !evicted) size_.fetch_add(1, std::memory_order_relaxed);
-  if (obs::enabled())
-    obs::Registry::global().set_gauge(
-        "svc.cache.size",
-        static_cast<double>(size_.load(std::memory_order_relaxed)));
+  if (outcome == PutOutcome::kInserted)
+    size_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(static_cast<std::uint64_t>(bytes_delta),
+                   std::memory_order_relaxed);
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.set_gauge("svc.cache.size",
+                  static_cast<double>(size_.load(std::memory_order_relaxed)));
+    reg.set_gauge("svc.cache.bytes", static_cast<double>(bytes_.load(
+                                         std::memory_order_relaxed)));
+  }
+  return outcome;
 }
 
 ResultCache::Stats ResultCache::stats() const {
@@ -84,6 +117,7 @@ ResultCache::Stats ResultCache::stats() const {
   st.misses = misses_.load(std::memory_order_relaxed);
   st.evictions = evictions_.load(std::memory_order_relaxed);
   st.size = size_.load(std::memory_order_relaxed);
+  st.bytes = bytes_.load(std::memory_order_relaxed);
   return st;
 }
 
@@ -94,6 +128,7 @@ void ResultCache::clear() {
     shard->index.clear();
   }
   size_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rat::svc

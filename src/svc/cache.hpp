@@ -41,11 +41,23 @@ class ResultCache {
  public:
   using Value = std::shared_ptr<const std::vector<core::ThroughputPrediction>>;
 
+  /// What put() actually did. The persistence layer keys off this: only
+  /// genuine inserts reach the durable journal — a kRefreshed (key
+  /// already resident, e.g. two concurrent misses computing the same
+  /// worksheet) must not append a duplicate record.
+  enum class PutOutcome {
+    kDropped,           ///< capacity 0: nothing stored
+    kInserted,          ///< new entry, shard had room
+    kInsertedEvicting,  ///< new entry, shard's LRU tail evicted
+    kRefreshed,         ///< key already resident; value + LRU refreshed
+  };
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
-    std::uint64_t size = 0;  ///< resident entries right now
+    std::uint64_t size = 0;   ///< resident entries right now
+    std::uint64_t bytes = 0;  ///< approx resident bytes (keys + predictions)
   };
 
   /// @p capacity entries total across @p n_shards shards (clamped to at
@@ -60,8 +72,9 @@ class ResultCache {
   Value get(const std::string& key, std::uint64_t fp);
 
   /// Insert or refresh @p key -> @p value, evicting the shard's least
-  /// recently used entry if the shard is full.
-  void put(const std::string& key, std::uint64_t fp, Value value);
+  /// recently used entry if the shard is full. The outcome reports which
+  /// of those happened (see PutOutcome).
+  PutOutcome put(const std::string& key, std::uint64_t fp, Value value);
 
   std::size_t capacity() const { return capacity_; }
   Stats stats() const;
@@ -89,6 +102,16 @@ class ResultCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> size_{0};
+  std::atomic<std::uint64_t> bytes_{0};
 };
+
+/// hits / (hits + misses); 0 before the first lookup. The derived gauge
+/// exported as svc.cache.hit_ratio (docs/SERVICE.md).
+inline double hit_ratio(const ResultCache::Stats& st) {
+  const std::uint64_t total = st.hits + st.misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(st.hits) /
+                          static_cast<double>(total);
+}
 
 }  // namespace rat::svc

@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <stdexcept>
 #include <utility>
@@ -75,17 +76,36 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       if (queue_.empty()) return;  // stop_ set and everything drained
       task = std::move(queue_.front());
       queue_.pop();
+      ++active_;
     }
     task();
     if (obs::enabled()) obs::Registry::global().add_counter(task_counter);
+    {
+      std::lock_guard lock(mu_);
+      if (--active_ == 0 && queue_.empty()) idle_cv_.notify_all();
+    }
   }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return active_ == 0 && queue_.empty(); });
 }
 
 bool ThreadPool::on_worker_thread() { return tls_pool_worker; }
 
+namespace {
+std::atomic<ThreadPool*> g_shared{nullptr};
+}  // namespace
+
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool(default_thread_count());
+  g_shared.store(&pool, std::memory_order_release);
   return pool;
+}
+
+ThreadPool* ThreadPool::shared_if_created() {
+  return g_shared.load(std::memory_order_acquire);
 }
 
 std::size_t default_thread_count() {

@@ -35,6 +35,13 @@ class ThreadPool {
   /// on whichever worker frees up first, and must not throw.
   void submit(std::function<void()> task);
 
+  /// Block until the queue is empty and no task — including its metrics
+  /// bookkeeping, which runs after the task's own completion signal — is
+  /// still executing on a worker. Callers exporting metrics use this so
+  /// trailing pool counters cannot be lost to a worker that hasn't been
+  /// rescheduled yet. Must not be called from a worker thread.
+  void wait_idle();
+
   /// True when the calling thread is one of *any* pool's workers. Parallel
   /// regions use this to fall back to serial execution instead of
   /// deadlocking on nested fan-out.
@@ -44,12 +51,18 @@ class ThreadPool {
   /// default_thread_count() workers.
   static ThreadPool& shared();
 
+  /// The process-wide pool if shared() has ever been called, else nullptr
+  /// — lets exporters quiesce the pool without instantiating one.
+  static ThreadPool* shared_if_created();
+
  private:
   void worker_loop(std::size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
   std::queue<std::function<void()>> queue_;
+  std::size_t active_ = 0;  ///< tasks currently running on workers
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,154 @@
+// CampaignCheckpoint: record/restore round trips, campaign and item
+// staleness rejection, torn-tail resume, thread-safe recording.
+#include "store/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rat::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+constexpr std::uint64_t kCampaign = 0xABCDEF0123456789ull;
+
+TEST(StoreCheckpoint, FreshCheckpointRestoresNothing) {
+  const fs::path dir = fresh_dir("store_ckpt_fresh");
+  CampaignCheckpoint ckpt(dir / "ckpt", "test.v1", kCampaign);
+  EXPECT_EQ(ckpt.restored_count(), 0u);
+  EXPECT_EQ(ckpt.restored_payload(0, 1), nullptr);
+}
+
+TEST(StoreCheckpoint, RecordThenReopenRestores) {
+  const fs::path dir = fresh_dir("store_ckpt_roundtrip");
+  const fs::path path = dir / "ckpt";
+  {
+    CampaignCheckpoint ckpt(path, "test.v1", kCampaign);
+    ckpt.record(0, 11, "payload-zero");
+    ckpt.record(2, 33, "payload-two");  // out-of-order indices are normal
+    ckpt.record(1, 22, std::string("\x00\x01\xff", 3));
+  }
+  CampaignCheckpoint ckpt(path, "test.v1", kCampaign);
+  EXPECT_EQ(ckpt.restored_count(), 3u);
+  const std::string* p0 = ckpt.restored_payload(0, 11);
+  ASSERT_NE(p0, nullptr);
+  EXPECT_EQ(*p0, "payload-zero");
+  const std::string* p1 = ckpt.restored_payload(1, 22);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(*p1, std::string("\x00\x01\xff", 3));
+  EXPECT_NE(ckpt.restored_payload(2, 33), nullptr);
+  EXPECT_EQ(ckpt.restored_payload(3, 44), nullptr);  // never recorded
+}
+
+TEST(StoreCheckpoint, DifferentCampaignFingerprintIsStale) {
+  const fs::path dir = fresh_dir("store_ckpt_stale_fp");
+  const fs::path path = dir / "ckpt";
+  { CampaignCheckpoint ckpt(path, "test.v1", kCampaign); }
+  try {
+    CampaignCheckpoint ckpt(path, "test.v1", kCampaign + 1);
+    FAIL() << "campaign fingerprint mismatch must throw";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.code(), StoreErrorCode::kStaleCheckpoint);
+    EXPECT_NE(std::string(e.what()).find("E_STALE_CHECKPOINT"),
+              std::string::npos);
+  }
+}
+
+TEST(StoreCheckpoint, DifferentKindIsStale) {
+  const fs::path dir = fresh_dir("store_ckpt_stale_kind");
+  const fs::path path = dir / "ckpt";
+  { CampaignCheckpoint ckpt(path, "rat.batch.v1", kCampaign); }
+  EXPECT_THROW(CampaignCheckpoint(path, "rat.designspace.v1", kCampaign),
+               StoreError);
+}
+
+TEST(StoreCheckpoint, ChangedItemFingerprintIsStale) {
+  const fs::path dir = fresh_dir("store_ckpt_stale_item");
+  const fs::path path = dir / "ckpt";
+  {
+    CampaignCheckpoint ckpt(path, "test.v1", kCampaign);
+    ckpt.record(5, /*item_fp=*/0x1111, "old-result");
+  }
+  CampaignCheckpoint ckpt(path, "test.v1", kCampaign);
+  // Same fingerprint replays; a different one means the input changed.
+  EXPECT_NE(ckpt.restored_payload(5, 0x1111), nullptr);
+  EXPECT_THROW(ckpt.restored_payload(5, 0x2222), StoreError);
+}
+
+TEST(StoreCheckpoint, TornTailLosesOnlyTheLastItem) {
+  const fs::path dir = fresh_dir("store_ckpt_torn");
+  const fs::path path = dir / "ckpt";
+  {
+    CampaignCheckpoint ckpt(path, "test.v1", kCampaign);
+    ckpt.record(0, 1, "survives");
+    ckpt.record(1, 2, "torn-away");
+  }
+  fs::resize_file(path, fs::file_size(path) - 1);
+  CampaignCheckpoint ckpt(path, "test.v1", kCampaign);
+  EXPECT_EQ(ckpt.restored_count(), 1u);
+  EXPECT_NE(ckpt.restored_payload(0, 1), nullptr);
+  EXPECT_EQ(ckpt.restored_payload(1, 2), nullptr);  // redo, don't trust
+  // The campaign continues where it left off.
+  ckpt.record(1, 2, "redone");
+}
+
+TEST(StoreCheckpoint, FullyTruncatedFileStartsOver) {
+  // Losing even the header record means no campaign identity — the
+  // checkpoint must reinitialize rather than reject or crash.
+  const fs::path dir = fresh_dir("store_ckpt_wiped");
+  const fs::path path = dir / "ckpt";
+  {
+    CampaignCheckpoint ckpt(path, "test.v1", kCampaign);
+    ckpt.record(0, 1, "gone");
+  }
+  fs::resize_file(path, 4);
+  CampaignCheckpoint ckpt(path, "test.v1", kCampaign);
+  EXPECT_EQ(ckpt.restored_count(), 0u);
+  ckpt.record(0, 1, "fresh");
+}
+
+TEST(StoreCheckpoint, ParallelRecordingIsDurable) {
+  const fs::path dir = fresh_dir("store_ckpt_parallel");
+  const fs::path path = dir / "ckpt";
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  {
+    CampaignCheckpoint::Options opts;
+    opts.sync_every_append = false;  // keep the thread test fast
+    CampaignCheckpoint ckpt(path, "test.v1", kCampaign, opts);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+      workers.emplace_back([&ckpt, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::uint64_t index =
+              static_cast<std::uint64_t>(t * kPerThread + i);
+          ckpt.record(index, index * 7 + 1,
+                      "result-" + std::to_string(index));
+        }
+      });
+    for (auto& w : workers) w.join();
+    ckpt.sync();
+  }
+  CampaignCheckpoint ckpt(path, "test.v1", kCampaign);
+  EXPECT_EQ(ckpt.restored_count(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::uint64_t index = 0; index < kThreads * kPerThread; ++index) {
+    const std::string* p = ckpt.restored_payload(index, index * 7 + 1);
+    ASSERT_NE(p, nullptr) << "index " << index;
+    EXPECT_EQ(*p, "result-" + std::to_string(index));
+  }
+}
+
+}  // namespace
+}  // namespace rat::store

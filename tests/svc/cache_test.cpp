@@ -92,6 +92,69 @@ TEST(SvcCache, ShardsNeverExceedTotalCapacityByMuchAndClearEmpties) {
   EXPECT_EQ(cache.get("key99", fnv1a64("key99")), nullptr);
 }
 
+TEST(SvcCache, PutReportsInsertRefreshAndEviction) {
+  ResultCache cache(2, 1);
+  const std::uint64_t fp_a = fnv1a64("a");
+  EXPECT_EQ(cache.put("a", fp_a, value_for(1.0)),
+            ResultCache::PutOutcome::kInserted);
+  // Same key again: the concurrent-duplicate-compute path. The
+  // persistence layer must see this as NOT a genuine insert, or every
+  // race would append a duplicate journal record.
+  EXPECT_EQ(cache.put("a", fp_a, value_for(1.5)),
+            ResultCache::PutOutcome::kRefreshed);
+  EXPECT_EQ(cache.put("b", fnv1a64("b"), value_for(2.0)),
+            ResultCache::PutOutcome::kInserted);
+  EXPECT_EQ(cache.put("c", fnv1a64("c"), value_for(3.0)),
+            ResultCache::PutOutcome::kInsertedEvicting);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SvcCache, ZeroCapacityPutReportsDropped) {
+  ResultCache cache(0, 4);
+  EXPECT_EQ(cache.put("k", fnv1a64("k"), value_for(1.0)),
+            ResultCache::PutOutcome::kDropped);
+}
+
+TEST(SvcCache, RefreshDoesNotDoubleCountBytes) {
+  ResultCache cache(4, 1);
+  const std::uint64_t fp = fnv1a64("k");
+  cache.put("k", fp, value_for(1.0));
+  const std::uint64_t after_insert = cache.stats().bytes;
+  EXPECT_GT(after_insert, 0u);
+  // Refreshing with an equally sized value must leave bytes unchanged.
+  cache.put("k", fp, value_for(2.0));
+  EXPECT_EQ(cache.stats().bytes, after_insert);
+  EXPECT_EQ(cache.stats().size, 1u);
+}
+
+TEST(SvcCache, BytesTrackInsertEvictAndClear) {
+  ResultCache cache(2, 1);
+  cache.put("aa", fnv1a64("aa"), value_for(1.0));
+  cache.put("bb", fnv1a64("bb"), value_for(2.0));
+  const std::uint64_t two_entries = cache.stats().bytes;
+  cache.put("cc", fnv1a64("cc"), value_for(3.0));  // evicts one
+  // Keys are the same length and values the same shape, so eviction +
+  // insert nets out to the two-entry footprint.
+  EXPECT_EQ(cache.stats().bytes, two_entries);
+  cache.clear();
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST(SvcCache, HitRatioDerivesFromStats) {
+  ResultCache cache(4, 1);
+  EXPECT_EQ(hit_ratio(cache.stats()), 0.0);  // no lookups yet
+  const std::uint64_t fp = fnv1a64("k");
+  cache.get("k", fp);  // miss
+  EXPECT_EQ(hit_ratio(cache.stats()), 0.0);
+  cache.put("k", fp, value_for(1.0));
+  cache.get("k", fp);  // hit
+  EXPECT_DOUBLE_EQ(hit_ratio(cache.stats()), 0.5);
+  cache.get("k", fp);  // hit
+  const ResultCache::Stats st = cache.stats();
+  EXPECT_DOUBLE_EQ(hit_ratio(st), 2.0 / 3.0);
+}
+
 TEST(SvcCache, DistinctKeysWithEqualFingerprintsDoNotAlias) {
   // The shard index comes from the fingerprint, but identity is the full
   // key: a forced "collision" (same fp, different key) must stay two

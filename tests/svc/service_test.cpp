@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <future>
 #include <mutex>
 #include <string>
@@ -16,6 +17,7 @@
 
 #include "core/parameters.hpp"
 #include "io/json.hpp"
+#include "store/store.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rat::svc {
@@ -107,6 +109,77 @@ TEST(SvcService, CacheHitAndMissResponsesAreByteIdentical) {
   EXPECT_EQ(st.cache.misses, 1u);
   EXPECT_EQ(st.cache.hits, 1u);
   EXPECT_EQ(st.responses_ok, 2u);
+}
+
+TEST(SvcService, WarmStartedServiceAnswersByteIdenticallyToColdEvaluation) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   "svc_service_warm_cache";
+  std::filesystem::remove_all(dir);
+  const std::string sheet = core::pdf1d_inputs().serialize();
+
+  // Process 1: evaluate cold and persist.
+  std::string cold;
+  {
+    Service service({.cache_capacity = 16, .cache_dir = dir.string()});
+    Collector out;
+    service.submit(evaluate_line("r", sheet), out.sink());
+    cold = out.wait_for(1)[0];
+    EXPECT_EQ(service.stats().cache_warmed, 0u);
+  }
+  // Process 2: the same request must hit the warmed cache and answer
+  // byte-identically — the tentpole acceptance requirement, literally.
+  {
+    Service service({.cache_capacity = 16, .cache_dir = dir.string()});
+    EXPECT_EQ(service.stats().cache_warmed, 1u);
+    Collector out;
+    service.submit(evaluate_line("r", sheet), out.sink());
+    EXPECT_EQ(out.wait_for(1)[0], cold);
+    const Service::Stats st = service.stats();
+    EXPECT_EQ(st.cache.hits, 1u);
+    EXPECT_EQ(st.cache.misses, 0u);  // never re-evaluated
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SvcService, OnlyGenuineInsertsReachTheJournal) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   "svc_service_journal_once";
+  std::filesystem::remove_all(dir);
+  const std::string sheet = core::pdf1d_inputs().serialize();
+  {
+    Service service({.cache_capacity = 16, .cache_dir = dir.string()});
+    Collector out;
+    // Same worksheet three times (serialized so each completes): one
+    // insert, two cache hits.
+    for (int i = 0; i < 3; ++i) {
+      service.submit(evaluate_line("r" + std::to_string(i), sheet),
+                     out.sink());
+      out.wait_for(static_cast<std::size_t>(i) + 1);
+    }
+  }
+  // The store must hold exactly one entry for the one distinct worksheet.
+  store::DurableStore store(dir);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.open_info().journal_records, 1u);
+}
+
+TEST(SvcService, StatsExportCarriesCacheBytesAndHitRatio) {
+  Service service({.cache_capacity = 16});
+  Collector out;
+  const std::string sheet = core::pdf1d_inputs().serialize();
+  service.submit(evaluate_line("miss", sheet), out.sink());
+  out.wait_for(1);
+  service.submit(evaluate_line("hit", sheet), out.sink());
+  out.wait_for(2);
+  service.submit("{\"id\":\"s\",\"op\":\"stats\"}", out.sink());
+  const auto lines = out.wait_for(3);
+  const io::JsonValue doc = io::parse_json(lines[2]);
+  const io::JsonValue* cache = doc.find("stats")->find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->find("hit_ratio")->number, 0.5);
+  EXPECT_GT(cache->find("bytes")->number, 0.0);
+  ASSERT_NE(cache->find("warmed"), nullptr);
+  EXPECT_EQ(cache->find("warmed")->number, 0.0);
 }
 
 TEST(SvcService, NoCacheBypassesTheCache) {

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/parallel_for.hpp"
@@ -73,6 +74,24 @@ TEST(ThreadPool, WorkersAreMarked) {
   });
   latch.wait_for(1);
   EXPECT_TRUE(on_worker);
+}
+
+TEST(ThreadPool, WaitIdleSeesEveryTaskSideEffect) {
+  // Metrics exporters rely on this: after wait_idle, every submitted
+  // task — including bookkeeping that runs after the task signals its
+  // own completion elsewhere — has fully finished on its worker.
+  ThreadPool pool(2);
+  pool.wait_idle();  // idle pool: returns immediately
+  std::atomic<int> done{0};
+  for (int i = 0; i < 128; ++i)
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      done.fetch_add(1);
+    });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 128);
+  pool.wait_idle();  // idempotent once drained
+  EXPECT_EQ(done.load(), 128);
 }
 
 TEST(ThreadPool, Validation) {
