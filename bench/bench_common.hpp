@@ -1,9 +1,13 @@
 // Shared helpers for the per-table benchmark binaries: build the rcsim
 // workload for each case-study design and produce the paper-style
-// worksheet with predicted and simulated-actual columns.
+// worksheet with predicted and simulated-actual columns — plus the
+// machine-readable perf-trajectory emitter (BENCH_RAT.json) the batch
+// kernel benches use so every PR leaves comparable numbers behind.
 #pragma once
 
 #include <cstdio>
+#include <map>
+#include <stdexcept>
 #include <string>
 
 #include "apps/hw_run.hpp"
@@ -11,6 +15,7 @@
 #include "apps/pdf1d.hpp"
 #include "apps/pdf2d.hpp"
 #include "apps/workload.hpp"
+#include "core/batch.hpp"
 #include "core/throughput.hpp"
 #include "core/units.hpp"
 #include "core/validation.hpp"
@@ -44,6 +49,69 @@ inline rcsim::Workload md_workload(const apps::MdDesign& d,
   w.cycles = [cycles](std::size_t) { return cycles; };
   return w;
 }
+
+/// Machine-readable perf trajectory, schema "rat.bench.v1": a flat map of
+/// named scalar metrics plus the lane backend the batch kernel was built
+/// with. scripts/check.sh writes BENCH_RAT.json with this emitter and
+/// fails the run if the document is missing or malformed, so the numbers
+/// accumulate PR over PR (docs/VECTORIZATION.md documents the schema).
+class BenchJson {
+ public:
+  /// Strip a `--json=PATH` argument before benchmark::Initialize sees it
+  /// (google-benchmark rejects flags it does not know). Returns the path,
+  /// or "" when the flag is absent — emission is opt-in.
+  static std::string extract_json_path(int& argc, char** argv) {
+    std::string path;
+    int w = 1;
+    for (int r = 1; r < argc; ++r) {
+      const std::string arg = argv[r];
+      if (arg.rfind("--json=", 0) == 0) {
+        path = arg.substr(7);
+        if (path.empty())
+          throw std::invalid_argument("--json= needs a path");
+      } else {
+        argv[w++] = argv[r];
+      }
+    }
+    argc = w;
+    return path;
+  }
+
+  BenchJson(std::string bench_name, std::string path)
+      : bench_(std::move(bench_name)), path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+  void add(const std::string& key, double value) { metrics_[key] = value; }
+
+  /// Write the document (no-op without --json). Round-trip double
+  /// formatting so the trajectory survives re-parsing exactly.
+  void write() const {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr)
+      throw std::runtime_error("BenchJson: cannot open " + path_);
+    std::fprintf(f,
+                 "{\n  \"schema\": \"rat.bench.v1\",\n  \"bench\": \"%s\",\n"
+                 "  \"simd_backend\": \"%s\",\n  \"simd_width\": %zu,\n"
+                 "  \"metrics\": {",
+                 bench_.c_str(), core::simd_backend(), core::simd_width());
+    bool first = true;
+    for (const auto& [key, value] : metrics_) {
+      std::fprintf(f, "%s\n    \"%s\": %.17g", first ? "" : ",", key.c_str(),
+                   value);
+      first = false;
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu metrics, %s lanes)\n", path_.c_str(),
+                metrics_.size(), core::simd_backend());
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::map<std::string, double> metrics_;  // sorted => deterministic bytes
+};
 
 /// Print a full worksheet (inputs + predicted columns + simulated actual)
 /// for one case study, in the layout of paper Tables 2+3 / 5+6 / 8+9.

@@ -10,10 +10,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
+#include "core/batch.hpp"
 #include "core/designspace.hpp"
 #include "core/montecarlo.hpp"
+#include "core/throughput.hpp"
 #include "core/units.hpp"
 #include "fixedpoint/fixed.hpp"
 #include "util/rng.hpp"
@@ -136,6 +140,55 @@ BENCHMARK(BM_MonteCarlo100k)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---- raw-kernel points/sec -------------------------------------------------
+// Single-core Eqs. 1-11 evaluation rate on a varied 131k-point workload:
+// the per-point scalar predict() loop every explorer ran before the SoA
+// batch kernel existed, vs the batch kernel with scalar lanes (layout +
+// hoisted validation only) and with native SIMD lanes. This is the number
+// the batch rework is accountable to — the acceptance bar is >= 10x over
+// the scalar path on one core.
+
+constexpr std::size_t kKernelPoints = 1 << 17;  // 131,072
+
+double kernel_scalar_pass(core::RatInputs& scratch) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < kKernelPoints; ++i) {
+    scratch.comp.throughput_ops_per_cycle =
+        2.5 * static_cast<double>(1 + i % 25);
+    acc += core::predict(scratch, core::mhz(75 + 5 * static_cast<double>(
+                                                         i % 20)))
+               .speedup_sb;
+  }
+  return acc;
+}
+
+double kernel_batch_pass(core::RatInputs& scratch,
+                         core::ThroughputBatch& batch,
+                         core::BatchKernel kernel) {
+  // Fill/evaluate/consume in 1024-point chunks — the shape every rewired
+  // consumer has (Monte-Carlo chunks, sweep chunks, methodology windows).
+  // Chunks this size keep all 23 SoA columns resident in L2, so the
+  // kernel streams cache-hot data instead of round-tripping DRAM.
+  constexpr std::size_t kChunk = 1024;
+  scratch.validate();
+  double acc = 0.0;
+  for (std::size_t lo = 0; lo < kKernelPoints; lo += kChunk) {
+    const std::size_t count = std::min(kChunk, kKernelPoints - lo);
+    batch.clear();
+    batch.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t i = lo + k;
+      scratch.comp.throughput_ops_per_cycle =
+          2.5 * static_cast<double>(1 + i % 25);
+      batch.push_back_unchecked(
+          scratch, core::mhz(75 + 5 * static_cast<double>(i % 20)));
+    }
+    core::predict_batch(batch, kernel);
+    for (double s : batch.out.speedup_sb) acc += s;
+  }
+  return acc;
+}
+
 // ---- speedup report --------------------------------------------------------
 
 template <typename Fn>
@@ -146,7 +199,47 @@ double wall_seconds(const Fn& fn) {
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
-void print_report() {
+/// Best-of-passes points/sec for one kernel variant (>= 0.2s wall total).
+template <typename Fn>
+double kernel_points_per_sec(const Fn& fn) {
+  double best = 0.0;
+  double total = 0.0;
+  while (total < 0.2) {
+    double acc = 0.0;
+    const double s = wall_seconds([&] { acc = fn(); });
+    benchmark::DoNotOptimize(acc);
+    total += s;
+    best = std::max(best, static_cast<double>(kKernelPoints) / s);
+  }
+  return best;
+}
+
+void print_report(const std::string& json_path) {
+  bench::BenchJson json("bench_parallel_scaling", json_path);
+
+  std::printf("\nRaw Eqs. 1-11 kernel, one core, %zu varied points "
+              "(bit-identical outputs):\n\n",
+              kKernelPoints);
+  core::RatInputs scratch = core::pdf1d_inputs();
+  core::ThroughputBatch batch;
+  const double k_scalar =
+      kernel_points_per_sec([&] { return kernel_scalar_pass(scratch); });
+  const double k_batch = kernel_points_per_sec([&] {
+    return kernel_batch_pass(scratch, batch, core::BatchKernel::kScalar);
+  });
+  const double k_simd = kernel_points_per_sec([&] {
+    return kernel_batch_pass(scratch, batch, core::BatchKernel::kSimd);
+  });
+  std::printf("%-34s %14.3e pts/s %8.2fx\n", "per-point predict()", k_scalar,
+              1.0);
+  std::printf("%-34s %14.3e pts/s %8.2fx\n", "batch, scalar lanes", k_batch,
+              k_batch / k_scalar);
+  std::printf("%-34s %14.3e pts/s %8.2fx   (%s)\n", "batch, SIMD lanes",
+              k_simd, k_simd / k_scalar, core::simd_backend());
+  json.add("kernel.scalar_points_per_sec", k_scalar);
+  json.add("kernel.batch_scalar_points_per_sec", k_batch);
+  json.add("kernel.batch_simd_points_per_sec", k_simd);
+  json.add("kernel.batch_vs_scalar_speedup", k_simd / k_scalar);
   std::printf("\nParallel scaling: serial vs N threads (identical results "
               "at every thread count)\n\n");
   std::printf("%-28s %8s %10s %9s\n", "workload", "threads", "wall [s]",
@@ -154,27 +247,36 @@ void print_report() {
   const double ds_serial = wall_seconds([] { run_design_space(1); });
   std::printf("%-28s %8d %10.3f %8.2fx\n", "design space, 10k points", 1,
               ds_serial, 1.0);
+  json.add("designspace.points_per_sec_1t", 10'000.0 / ds_serial);
   for (std::size_t t : {2, 4, 8}) {
     const double s = wall_seconds([t] { run_design_space(t); });
     std::printf("%-28s %8zu %10.3f %8.2fx\n", "design space, 10k points", t,
                 s, ds_serial / s);
+    json.add("designspace.speedup_" + std::to_string(t) + "t",
+             ds_serial / s);
   }
   const double mc_serial = wall_seconds([] { run_mc(1); });
   std::printf("%-28s %8d %10.3f %8.2fx\n", "Monte-Carlo, 100k samples", 1,
               mc_serial, 1.0);
+  json.add("montecarlo.samples_per_sec_1t", 100'000.0 / mc_serial);
   for (std::size_t t : {2, 4, 8}) {
     const double s = wall_seconds([t] { run_mc(t); });
     std::printf("%-28s %8zu %10.3f %8.2fx\n", "Monte-Carlo, 100k samples", t,
                 s, mc_serial / s);
+    json.add("montecarlo.speedup_" + std::to_string(t) + "t",
+             mc_serial / s);
   }
+  json.write();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path =
+      rat::bench::BenchJson::extract_json_path(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_report();
+  print_report(json_path);
   return 0;
 }

@@ -11,8 +11,38 @@ ctest --test-dir build --output-on-failure
 for b in build/bench/bench_*; do
   [ -x "$b" ] || continue
   echo "==== running $b"
-  "$b" --benchmark_min_time=0.05s
+  case "$(basename "$b")" in
+    # The batch-kernel benches also emit the rat.bench.v1 perf trajectory:
+    # bench_parallel_scaling writes the canonical BENCH_RAT.json at the
+    # repo root (committed PR over PR), the micro-bench a sidecar in
+    # build/. Both documents are schema-validated below.
+    bench_parallel_scaling) "$b" --benchmark_min_time=0.05s \
+      --json=BENCH_RAT.json ;;
+    bench_batch_eval) "$b" --benchmark_min_time=0.05s \
+      --json=build/bench_batch_eval.json ;;
+    *) "$b" --benchmark_min_time=0.05s ;;
+  esac
 done
+
+# The perf trajectory must exist and parse: a malformed or silently
+# missing BENCH_RAT.json would break the PR-over-PR comparison.
+echo "==== BENCH_RAT.json schema validation"
+python3 - BENCH_RAT.json build/bench_batch_eval.json <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    doc = json.load(open(path))
+    assert doc["schema"] == "rat.bench.v1", (path, doc.get("schema"))
+    assert doc["bench"], path
+    assert doc["simd_backend"] in ("scalar", "avx2", "neon"), doc
+    assert doc["simd_width"] >= 1, doc
+    m = doc["metrics"]
+    assert m, f"{path}: empty metrics"
+    assert all(isinstance(v, float) for v in m.values()), m
+    assert m["kernel.batch_vs_scalar_speedup"] > 1.0, \
+        (path, m["kernel.batch_vs_scalar_speedup"])
+    print(f"{path}: OK ({len(m)} metrics, {doc['simd_backend']} lanes, "
+          f"batch {m['kernel.batch_vs_scalar_speedup']:.1f}x scalar)")
+EOF
 
 # ThreadSanitizer pass over the parallel evaluation engine, the
 # observability registry, the prediction service and the durable store: a
@@ -25,23 +55,34 @@ done
 echo "==== ThreadSanitizer pass (parallel + obs + service + store tests)"
 cmake -B build-tsan -G Ninja -DRAT_SANITIZE=thread
 cmake --build build-tsan --target test_parallel test_obs test_svc \
-  test_store rat_serve
+  test_store test_batch rat_serve
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism|Obs|Svc|Store)'
+  -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism|Obs|Svc|Store|BatchIdentity)'
 
-# ASan+UBSan pass over the worksheet ingestion path and the durable
-# store: the io tests (strict parser, loaders, batch runner + checkpoint
-# resume) and the store tests (including the recovery property suite,
-# which truncates journals at every byte boundary and bit-flips payloads)
-# plus the rat_batch binary, then a smoke run on the checked-in fixture
-# directory whose broken.rat must yield a per-file file:line:column
-# diagnostic and the documented exit code 2 (partial failure) while the
-# three good worksheets still evaluate.
-echo "==== AddressSanitizer+UBSan pass (worksheet ingestion + store)"
+# ASan+UBSan pass over the worksheet ingestion path, the durable store
+# and the SIMD batch kernel: the io tests (strict parser, loaders, batch
+# runner + checkpoint resume), the store tests (including the recovery
+# property suite, which truncates journals at every byte boundary and
+# bit-flips payloads) and the BatchIdentity suite (the '^Batch' pattern
+# covers it: lane loads/stores and the SoA arena run sanitized) plus the
+# rat_batch binary, then a smoke run on the checked-in fixture directory
+# whose broken.rat must yield a per-file file:line:column diagnostic and
+# the documented exit code 2 (partial failure) while the three good
+# worksheets still evaluate.
+echo "==== AddressSanitizer+UBSan pass (worksheet ingestion + store + batch)"
 cmake -B build-asan -G Ninja -DRAT_SANITIZE=address,undefined
-cmake --build build-asan --target test_io test_store rat_batch
+cmake --build build-asan --target test_io test_store test_batch rat_batch
 ctest --test-dir build-asan --output-on-failure \
   -R '^(LoadWorksheet|WorksheetDir|Batch|Store)'
+
+# Scalar-fallback pass: the same identity suite with SIMD forced off
+# (-DRAT_SIMD=off), so the width-1 reference build — what a host without
+# AVX2/NEON gets — proves it computes the very same bits the kernel
+# suites pinned above.
+echo "==== RAT_SIMD=off pass (scalar-fallback identity)"
+cmake -B build-simdoff -G Ninja -DRAT_SIMD=off
+cmake --build build-simdoff --target test_batch
+ctest --test-dir build-simdoff --output-on-failure -R '^BatchIdentity'
 
 echo "==== rat_batch smoke (fixture directory with one malformed file)"
 smoke_out=$(mktemp)

@@ -1,0 +1,131 @@
+// This is the only translation unit compiled with the RAT_SIMD_* backend
+// macro and vector flags (see src/core/CMakeLists.txt), so the rest of
+// rat_core never depends on the vector ISA — the scalar fallback stays a
+// plain build.
+#include "core/batch.hpp"
+
+#include <stdexcept>
+
+#include "core/throughput_kernel.hpp"
+
+namespace rat::core {
+
+namespace {
+
+/// Append or load/store helpers expand per column; keeping the column
+/// list in one macro keeps the 11-input/12-output plumbing in sync.
+#define RAT_BATCH_INPUT_COLUMNS(X)                                          \
+  X(elements_in)                                                            \
+  X(elements_out)                                                           \
+  X(bytes_per_elem)                                                         \
+  X(ideal_bw)                                                               \
+  X(alpha_write)                                                            \
+  X(alpha_read)                                                             \
+  X(ops_per_elem)                                                           \
+  X(throughput_proc)                                                        \
+  X(n_iterations)                                                           \
+  X(tsoft)                                                                  \
+  X(fclock)
+
+#define RAT_BATCH_OUTPUT_COLUMNS(X)                                         \
+  X(t_write)                                                                \
+  X(t_read)                                                                 \
+  X(t_comm)                                                                 \
+  X(t_comp)                                                                 \
+  X(t_rc_sb)                                                                \
+  X(t_rc_db)                                                                \
+  X(speedup_sb)                                                             \
+  X(speedup_db)                                                             \
+  X(util_comp_sb)                                                           \
+  X(util_comm_sb)                                                           \
+  X(util_comp_db)                                                           \
+  X(util_comm_db)
+
+/// Evaluate points [i, i + k*V::kWidth) for the largest k fitting in
+/// [i, n); returns the first unevaluated index (the tail for a narrower
+/// lane, or n).
+template <typename V>
+std::size_t run_lanes(const ThroughputBatch::InputColumns& in,
+                      ThroughputBatch::OutputColumns& out, std::size_t i,
+                      std::size_t n) {
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    kernel::InputsV<V> iv;
+#define RAT_LOAD(col) iv.col = V::load(in.col.data() + i);
+    RAT_BATCH_INPUT_COLUMNS(RAT_LOAD)
+#undef RAT_LOAD
+    const kernel::OutputsV<V> ov = kernel::evaluate(iv);
+#define RAT_STORE(col) ov.col.store(out.col.data() + i);
+    RAT_BATCH_OUTPUT_COLUMNS(RAT_STORE)
+#undef RAT_STORE
+  }
+  return i;
+}
+
+}  // namespace
+
+void ThroughputBatch::reserve(std::size_t n) {
+#define RAT_RESERVE(col) in.col.reserve(n);
+  RAT_BATCH_INPUT_COLUMNS(RAT_RESERVE)
+#undef RAT_RESERVE
+}
+
+void ThroughputBatch::clear() {
+#define RAT_CLEAR_IN(col) in.col.clear();
+  RAT_BATCH_INPUT_COLUMNS(RAT_CLEAR_IN)
+#undef RAT_CLEAR_IN
+#define RAT_CLEAR_OUT(col) out.col.clear();
+  RAT_BATCH_OUTPUT_COLUMNS(RAT_CLEAR_OUT)
+#undef RAT_CLEAR_OUT
+}
+
+void ThroughputBatch::push_back(const RatInputs& inputs, double fclock_hz) {
+  inputs.validate();
+  if (fclock_hz <= 0.0)
+    throw std::invalid_argument("predict: non-positive clock");
+  push_back_unchecked(inputs, fclock_hz);
+}
+
+ThroughputPrediction ThroughputBatch::prediction(std::size_t i) const {
+  if (i >= out.speedup_sb.size())
+    throw std::out_of_range(
+        "ThroughputBatch::prediction: index past evaluated range");
+  ThroughputPrediction p;
+  p.fclock_hz = in.fclock[i];
+  p.t_write_sec = out.t_write[i];
+  p.t_read_sec = out.t_read[i];
+  p.t_comm_sec = out.t_comm[i];
+  p.t_comp_sec = out.t_comp[i];
+  p.t_rc_sb_sec = out.t_rc_sb[i];
+  p.t_rc_db_sec = out.t_rc_db[i];
+  p.speedup_sb = out.speedup_sb[i];
+  p.speedup_db = out.speedup_db[i];
+  p.util_comp_sb = out.util_comp_sb[i];
+  p.util_comm_sb = out.util_comm_sb[i];
+  p.util_comp_db = out.util_comp_db[i];
+  p.util_comm_db = out.util_comm_db[i];
+  return p;
+}
+
+void predict_batch(ThroughputBatch& b, BatchKernel kernel) {
+  const std::size_t n = b.size();
+#define RAT_RESIZE(col) b.out.col.resize(n);
+  RAT_BATCH_OUTPUT_COLUMNS(RAT_RESIZE)
+#undef RAT_RESIZE
+
+  std::size_t i = 0;
+  // kSimd with a scalar-only build is the scalar loop: the width-1
+  // "vector" is the reference lane, so forcing it on is always legal.
+  if (kernel != BatchKernel::kScalar &&
+      util::simd::NativeLane::kWidth > 1) {
+    i = run_lanes<util::simd::NativeLane>(b.in, b.out, 0, n);
+  }
+  run_lanes<util::simd::ScalarLane>(b.in, b.out, i, n);
+}
+
+const char* simd_backend() noexcept { return util::simd::kBackendName; }
+
+std::size_t simd_width() noexcept {
+  return util::simd::NativeLane::kWidth;
+}
+
+}  // namespace rat::core

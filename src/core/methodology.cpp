@@ -1,10 +1,12 @@
 #include "core/methodology.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
 
+#include "core/batch.hpp"
 #include "store/checkpoint.hpp"
 #include "store/checksum.hpp"
 #include "store/codec.hpp"
@@ -54,13 +56,15 @@ struct CandidateEvaluation {
 CandidateEvaluation evaluate_candidate(std::size_t i,
                                        const DesignCandidate& cand,
                                        const Requirements& req,
-                                       const rcsim::Device& device) {
+                                       const rcsim::Device& device,
+                                       const ThroughputPrediction& pred) {
   CandidateEvaluation ev;
   const std::string& name = cand.inputs.name;
 
   // --- Throughput test -------------------------------------------------
-  const ThroughputPrediction pred =
-      predict(cand.inputs, cand.decision_clock_hz);
+  // The prediction was computed up front for the whole enumeration window
+  // by the SoA batch kernel — bit-identical to the predict() call that
+  // used to live here.
   ev.prediction = pred;
   const double speedup =
       req.double_buffered ? pred.speedup_db : pred.speedup_sb;
@@ -204,24 +208,74 @@ CandidateEvaluation decode_evaluation(std::string_view payload) {
   return ev;
 }
 
+/// Throughput predictions for one enumeration-order window of candidates,
+/// evaluated in a single SoA batch. A candidate whose worksheet fails
+/// validation does not abort the fill: its error is deferred and rethrown
+/// only if and when that candidate is actually evaluated fresh, so the
+/// serial early-exit semantics (an accepted design before the bad
+/// candidate means the bad candidate is never touched) and the
+/// checkpoint-restore semantics (a restored candidate is never
+/// re-validated) are preserved exactly.
+struct WindowPredictions {
+  ThroughputBatch batch;
+  std::vector<std::exception_ptr> errors;
+
+  void fill(const std::vector<DesignCandidate>& candidates,
+            std::size_t start, std::size_t count) {
+    batch.clear();
+    batch.reserve(count);
+    errors.assign(count, nullptr);
+    // Benign placeholder keeping the columns aligned for a deferred-error
+    // point; its (never read) outputs stay finite.
+    static const RatInputs kPlaceholder = [] {
+      RatInputs p;
+      p.name = "<invalid>";
+      p.dataset = DatasetParams{1, 1, 1.0};
+      p.comm = CommunicationParams{1.0, 1.0, 1.0};
+      p.comp = ComputationParams{1.0, 1.0, {1.0}};
+      p.software = SoftwareParams{1.0, 1};
+      return p;
+    }();
+    for (std::size_t k = 0; k < count; ++k) {
+      try {
+        batch.push_back(candidates[start + k].inputs,
+                        candidates[start + k].decision_clock_hz);
+      } catch (...) {
+        errors[k] = std::current_exception();
+        batch.push_back_unchecked(kPlaceholder, 1.0);
+      }
+    }
+    predict_batch(batch);
+  }
+};
+
 /// Replay a recorded evaluation, or evaluate and record a fresh one.
+/// @p window_index addresses the candidate inside the pre-evaluated
+/// window batch.
 CandidateEvaluation evaluate_or_restore(std::size_t i,
                                         const DesignCandidate& cand,
                                         const Requirements& req,
                                         const rcsim::Device& device,
                                         store::CampaignCheckpoint* checkpoint,
-                                        bool* restored) {
+                                        bool* restored,
+                                        const WindowPredictions& window,
+                                        std::size_t window_index) {
+  std::uint64_t fp = 0;
   if (checkpoint != nullptr) {
-    const std::uint64_t fp = candidate_fingerprint(cand);
+    fp = candidate_fingerprint(cand);
     if (const std::string* payload = checkpoint->restored_payload(i, fp)) {
       if (restored != nullptr) *restored = true;
       return decode_evaluation(*payload);
     }
-    CandidateEvaluation ev = evaluate_candidate(i, cand, req, device);
-    checkpoint->record(i, fp, encode_evaluation(ev));
-    return ev;
   }
-  return evaluate_candidate(i, cand, req, device);
+  // Fresh evaluation: surface the validation error predict() would have
+  // thrown for this candidate, at the same point in the run.
+  if (window.errors[window_index])
+    std::rethrow_exception(window.errors[window_index]);
+  CandidateEvaluation ev = evaluate_candidate(
+      i, cand, req, device, window.batch.prediction(window_index));
+  if (checkpoint != nullptr) checkpoint->record(i, fp, encode_evaluation(ev));
+  return ev;
 }
 
 }  // namespace
@@ -320,23 +374,38 @@ MethodologyOutcome run_methodology(
 
   const std::size_t threads =
       std::min(util::resolve_thread_count(n_threads), candidates.size());
+  // Serial or parallel, candidates are processed in enumeration-order
+  // windows whose throughput predictions are computed up front by one SoA
+  // batch sweep (validation deferred per candidate — see
+  // WindowPredictions); the precision/resource/power gates then run per
+  // candidate, in parallel when a pool is available. Wasted work past an
+  // accepted design is bounded by one window, and absorbing in order
+  // keeps the trace byte-identical to the serial run.
+  WindowPredictions window_preds;
   if (threads <= 1) {
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      bool restored = false;
-      CandidateEvaluation ev = evaluate_or_restore(
-          i, candidates[i], req, device, checkpoint, &restored);
-      if (restored && n_restored != nullptr) ++*n_restored;
-      if (absorb(i, std::move(ev))) return out;
+    constexpr std::size_t kSerialWindow = 256;
+    for (std::size_t start = 0; start < candidates.size();
+         start += kSerialWindow) {
+      const std::size_t count =
+          std::min(kSerialWindow, candidates.size() - start);
+      window_preds.fill(candidates, start, count);
+      for (std::size_t k = 0; k < count; ++k) {
+        bool restored = false;
+        CandidateEvaluation ev =
+            evaluate_or_restore(start + k, candidates[start + k], req,
+                                device, checkpoint, &restored,
+                                window_preds, k);
+        if (restored && n_restored != nullptr) ++*n_restored;
+        if (absorb(start + k, std::move(ev))) return out;
+      }
     }
     return out;  // all permutations exhausted without a satisfactory solution
   }
 
-  // Evaluate in enumeration-order windows: wasted work past an accepted
-  // design is bounded by one window, and merging in order keeps the trace
-  // byte-identical to the serial run.
   const std::size_t window = threads * 4;
   for (std::size_t start = 0; start < candidates.size(); start += window) {
     const std::size_t count = std::min(window, candidates.size() - start);
+    window_preds.fill(candidates, start, count);
     // One flag per item, each written by exactly one worker — no race.
     std::vector<unsigned char> restored(count, 0);
     auto evals = util::parallel_map(
@@ -345,7 +414,7 @@ MethodologyOutcome run_methodology(
           bool r = false;
           CandidateEvaluation ev =
               evaluate_or_restore(start + k, candidates[start + k], req,
-                                  device, checkpoint, &r);
+                                  device, checkpoint, &r, window_preds, k);
           restored[k] = r ? 1 : 0;
           return ev;
         },

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/batch.hpp"
 #include "obs/metrics.hpp"
 #include "util/parallel_for.hpp"
 #include "util/rng.hpp"
@@ -86,48 +87,77 @@ namespace {
 /// always covers samples [c*1024, (c+1)*1024) from stream `seed + c`.
 constexpr std::size_t kChunkSamples = 1024;
 
-/// Samples drawn by one chunk, merged in chunk order afterwards.
-struct SampleChunk {
-  std::vector<double> s_sb, s_db, t_rc, t_comm, t_comp;
-  std::size_t meets_goal = 0;
+/// Destination slices one chunk writes into: chunk c owns rows
+/// [c*kChunkSamples, c*kChunkSamples + count) of each column, so chunks
+/// never contend and the merged order is the serial order by construction.
+struct SampleSink {
+  double* s_sb;
+  double* s_db;
+  double* t_rc;
+  double* t_comm;
+  double* t_comp;
 };
 
-SampleChunk sample_chunk(const RatInputs& inputs,
+/// Draw one chunk's samples into an SoA batch (scalar — the RNG and the
+/// truncated-normal rejection loop are inherently sequential), then
+/// evaluate Eqs. 1-11 for the whole chunk in one predict_batch call.
+/// Sampling order per point is unchanged from the scalar implementation
+/// (alpha_write, alpha_read, ops, throughput_proc, tsoft, fclock), so the
+/// sample stream for a given seed is exactly what it was point-wise, and
+/// the batch kernel keeps the predictions bit-identical to per-point
+/// predict() calls.
+std::size_t sample_chunk(const RatInputs& inputs,
                          const UncertaintyModel& model, std::size_t count,
-                         double goal_speedup, std::uint64_t chunk_seed) {
+                         double goal_speedup, std::uint64_t chunk_seed,
+                         ThroughputBatch& batch, RatInputs& scratch,
+                         const SampleSink& sink) {
   util::Rng rng(chunk_seed);
-  SampleChunk chunk;
-  chunk.s_sb.reserve(count);
-  chunk.s_db.reserve(count);
-  chunk.t_rc.reserve(count);
-  chunk.t_comm.reserve(count);
-  chunk.t_comp.reserve(count);
+  batch.clear();
+  batch.reserve(count);
 
   const double base_clock = inputs.comp.fclock_hz.front();
   for (std::size_t i = 0; i < count; ++i) {
-    RatInputs perturbed = inputs;
-    perturbed.comm.alpha_write =
+    const double aw =
         std::min(1.0, sample(model.alpha_write, inputs.comm.alpha_write, rng));
-    perturbed.comm.alpha_read =
+    const double ar =
         std::min(1.0, sample(model.alpha_read, inputs.comm.alpha_read, rng));
-    perturbed.comp.ops_per_element =
+    const double ops =
         sample(model.ops_per_element, inputs.comp.ops_per_element, rng);
-    perturbed.comp.throughput_ops_per_cycle = sample(
-        model.throughput_proc, inputs.comp.throughput_ops_per_cycle, rng);
-    perturbed.software.tsoft_sec =
+    const double tp = sample(model.throughput_proc,
+                             inputs.comp.throughput_ops_per_cycle, rng);
+    const double tsoft =
         sample(model.tsoft_sec, inputs.software.tsoft_sec, rng);
     const double fclock = sample(model.fclock_hz, base_clock, rng);
 
-    const ThroughputPrediction p = predict(perturbed, fclock);
-    chunk.s_sb.push_back(p.speedup_sb);
-    chunk.s_db.push_back(p.speedup_db);
-    chunk.t_rc.push_back(p.t_rc_sb_sec);
-    chunk.t_comm.push_back(p.t_comm_sec);
-    chunk.t_comp.push_back(p.t_comp_sec);
-    if (goal_speedup > 0.0 && p.speedup_sb >= goal_speedup)
-      ++chunk.meets_goal;
+    scratch.comm.alpha_write = aw;
+    scratch.comm.alpha_read = ar;
+    scratch.comp.ops_per_element = ops;
+    scratch.comp.throughput_ops_per_cycle = tp;
+    scratch.software.tsoft_sec = tsoft;
+    if (!(aw > 0.0 && ar > 0.0 && ops > 0.0 && tp > 0.0 && tsoft > 0.0 &&
+          fclock > 0.0)) {
+      // A mis-specified band produced a value outside the model domain
+      // (e.g. a normal whose [lo,hi] sits below zero). The scalar path
+      // validated every perturbed worksheet; reproduce its exact
+      // diagnostic by running the checked single-point call.
+      (void)predict(scratch, fclock);
+    }
+    batch.push_back_unchecked(scratch, fclock);
   }
-  return chunk;
+
+  predict_batch(batch);
+
+  std::size_t meets_goal = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    sink.s_sb[i] = batch.out.speedup_sb[i];
+    sink.s_db[i] = batch.out.speedup_db[i];
+    sink.t_rc[i] = batch.out.t_rc_sb[i];
+    sink.t_comm[i] = batch.out.t_comm[i];
+    sink.t_comp[i] = batch.out.t_comp[i];
+    if (goal_speedup > 0.0 && batch.out.speedup_sb[i] >= goal_speedup)
+      ++meets_goal;
+  }
+  return meets_goal;
 }
 
 }  // namespace
@@ -162,34 +192,35 @@ MonteCarloResult run_monte_carlo(const RatInputs& inputs,
   if (obs::enabled())
     obs::Registry::global().add_counter("montecarlo.samples", n);
 
+  // Result columns are sized once; each chunk fills its own disjoint slice
+  // (no per-chunk vectors, no merge copy). Goal counts are per-chunk slots
+  // summed afterwards, so the tally is thread-count-invariant too.
   const std::size_t n_chunks = (n + kChunkSamples - 1) / kChunkSamples;
-  std::vector<SampleChunk> chunks(n_chunks);
+  std::vector<double> s_sb(n), s_db(n), t_rc(n), t_comm(n), t_comp(n);
+  std::vector<std::size_t> chunk_goal(n_chunks, 0);
   util::parallel_for(
       n_chunks,
       [&](std::size_t c) {
         obs::ScopedTimer chunk_timer("montecarlo.chunk");
         const std::size_t lo = c * kChunkSamples;
         const std::size_t count = std::min(kChunkSamples, n - lo);
-        chunks[c] = sample_chunk(inputs, model, count, goal_speedup,
-                                 seed + static_cast<std::uint64_t>(c));
+        // One SoA batch and one scratch worksheet per pool thread, reused
+        // across every chunk that lands on it: the arena-style buffers
+        // mean a steady-state chunk performs no per-point allocation at
+        // all (the old path copied a full RatInputs — name string, clock
+        // vector — per sample).
+        thread_local ThroughputBatch batch;
+        thread_local RatInputs scratch;
+        scratch = inputs;
+        chunk_goal[c] = sample_chunk(
+            inputs, model, count, goal_speedup,
+            seed + static_cast<std::uint64_t>(c), batch, scratch,
+            SampleSink{s_sb.data() + lo, s_db.data() + lo, t_rc.data() + lo,
+                       t_comm.data() + lo, t_comp.data() + lo});
       },
       n_threads);
-
-  std::vector<double> s_sb, s_db, t_rc, t_comm, t_comp;
-  s_sb.reserve(n);
-  s_db.reserve(n);
-  t_rc.reserve(n);
-  t_comm.reserve(n);
-  t_comp.reserve(n);
   std::size_t meets_goal = 0;
-  for (auto& chunk : chunks) {
-    s_sb.insert(s_sb.end(), chunk.s_sb.begin(), chunk.s_sb.end());
-    s_db.insert(s_db.end(), chunk.s_db.begin(), chunk.s_db.end());
-    t_rc.insert(t_rc.end(), chunk.t_rc.begin(), chunk.t_rc.end());
-    t_comm.insert(t_comm.end(), chunk.t_comm.begin(), chunk.t_comm.end());
-    t_comp.insert(t_comp.end(), chunk.t_comp.begin(), chunk.t_comp.end());
-    meets_goal += chunk.meets_goal;
-  }
+  for (std::size_t g : chunk_goal) meets_goal += g;
 
   MonteCarloResult r;
   r.n_samples = n;

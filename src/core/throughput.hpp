@@ -48,8 +48,17 @@ struct ThroughputPrediction {
 /// Evaluate the model at one clock frequency. @p inputs is validated.
 ThroughputPrediction predict(const RatInputs& inputs, double fclock_hz);
 
+/// Pre-validated fast path: identical arithmetic to predict() (they share
+/// the Eqs. 1-11 kernel in throughput_kernel.hpp, so results are
+/// bit-identical) but skips the worksheet validation and clock check. The
+/// caller guarantees inputs.validate() holds and fclock_hz > 0; batch,
+/// Monte-Carlo and sweep loops validate once per point set and then stay
+/// on this path.
+ThroughputPrediction predict_unchecked(const RatInputs& inputs,
+                                       double fclock_hz) noexcept;
+
 /// Evaluate at every candidate clock in the worksheet (Tables 3/6/9 list
-/// one prediction column per clock).
+/// one prediction column per clock). Validates once, not once per clock.
 std::vector<ThroughputPrediction> predict_all(const RatInputs& inputs);
 
 }  // namespace rat::core

@@ -1,0 +1,80 @@
+// The Eqs. (1)-(11) expression tree, written once as a lane-width-agnostic
+// template so the scalar predict() path and the SoA batch kernel share the
+// exact same sequence of IEEE-754 operations.
+//
+// Bit-identity contract: every quantity below is computed with the same
+// ops in the same order whatever lane type V is — mul, div, add, max, each
+// exactly rounded. There is no a*b+c shape anywhere in Eqs. 1-11, so FMA
+// contraction cannot occur even on FMA hardware, and no reassociation is
+// possible without -ffast-math (which this repo never enables). A lane of
+// predict_batch is therefore byte-identical to a call of predict() on the
+// same point; tests/core/batch_identity_test.cpp pins this with memcmp.
+#pragma once
+
+#include "util/simd.hpp"
+
+namespace rat::core::kernel {
+
+/// One lane-group worth of inputs to Eqs. 1-11, every field already a
+/// double (integer worksheet fields are cast once at batch-fill time, with
+/// the same static_cast<double> the scalar path performs).
+template <typename V>
+struct InputsV {
+  V elements_in;     ///< Nelements,input
+  V elements_out;    ///< Nelements,output
+  V bytes_per_elem;  ///< Nbytes/element
+  V ideal_bw;        ///< throughput_ideal, bytes/sec
+  V alpha_write;     ///< host->FPGA efficiency
+  V alpha_read;      ///< FPGA->host efficiency
+  V ops_per_elem;    ///< Nops/element
+  V throughput_proc; ///< ops/cycle
+  V n_iterations;    ///< Niter
+  V tsoft;           ///< software baseline, sec
+  V fclock;          ///< candidate clock, Hz
+};
+
+/// One lane-group worth of the 13 derived quantities (the ThroughputPrediction
+/// fields, minus fclock which the caller already has).
+template <typename V>
+struct OutputsV {
+  V t_write, t_read, t_comm, t_comp;
+  V t_rc_sb, t_rc_db;
+  V speedup_sb, speedup_db;
+  V util_comp_sb, util_comm_sb, util_comp_db, util_comm_db;
+};
+
+/// Evaluate Eqs. (1)-(11) for one lane group. Mirrors core::predict()
+/// line for line; keep the two in sync (the identity test suite will
+/// catch any drift bit-exactly).
+template <typename V>
+inline OutputsV<V> evaluate(const InputsV<V>& in) {
+  OutputsV<V> out;
+
+  // Eqs. (2)/(3): numerator and denominator each round once, then divide —
+  // identical to `a * b / (c * d)` in the scalar path.
+  out.t_write = in.elements_in * in.bytes_per_elem /
+                (in.alpha_write * in.ideal_bw);
+  out.t_read = in.elements_out * in.bytes_per_elem /
+               (in.alpha_read * in.ideal_bw);
+  out.t_comm = out.t_write + out.t_read;  // Eq. (1)
+
+  // Eq. (4).
+  out.t_comp = in.elements_in * in.ops_per_elem /
+               (in.fclock * in.throughput_proc);
+
+  out.t_rc_sb = in.n_iterations * (out.t_comm + out.t_comp);   // Eq. (5)
+  out.t_rc_db = in.n_iterations * max(out.t_comm, out.t_comp); // Eq. (6)
+
+  out.speedup_sb = in.tsoft / out.t_rc_sb;  // Eq. (7)
+  out.speedup_db = in.tsoft / out.t_rc_db;
+
+  const V sum = out.t_comm + out.t_comp;
+  const V mx = max(out.t_comm, out.t_comp);
+  out.util_comp_sb = out.t_comp / sum;  // Eq. (8)
+  out.util_comm_sb = out.t_comm / sum;  // Eq. (9)
+  out.util_comp_db = out.t_comp / mx;   // Eq. (10)
+  out.util_comm_db = out.t_comm / mx;   // Eq. (11)
+  return out;
+}
+
+}  // namespace rat::core::kernel

@@ -1,0 +1,137 @@
+// Portable, width-agnostic SIMD lanes for the batch evaluation kernel.
+//
+// One vector-of-double type per build configuration:
+//
+//   * ScalarLane  — width 1, plain double. Always available; also the tail
+//     lane for ranges that are not a multiple of the native width.
+//   * NativeLane  — the widest backend selected at build time by the
+//     RAT_SIMD CMake option: AVX2 (4 doubles, RAT_SIMD_AVX2), NEON
+//     (2 doubles, RAT_SIMD_NEON), or an alias of ScalarLane when neither
+//     macro is defined (RAT_SIMD=off/scalar, or unsupported hosts).
+//
+// The contract every backend must honour (docs/VECTORIZATION.md): each
+// lane performs exactly the IEEE-754 binary64 operations +, -, *, /, max
+// with round-to-nearest-even, one rounding per operation. vaddpd/vmulpd/
+// vdivpd/vmaxpd and the NEON equivalents are exactly-rounded lane-wise, so
+// a kernel written against this wrapper produces bit-identical results at
+// any width — which is what lets predict_batch swap lanes freely while
+// keeping the repo-wide byte-identity guarantees. Consequently there is
+// deliberately NO fma() here: contraction would skip an intermediate
+// rounding and break scalar/SIMD identity.
+//
+// max() note: both operands in the throughput kernel are finite (validated
+// inputs), so the x86 "second operand on NaN" asymmetry never matters; the
+// scalar backend still mirrors std::max's (a < b ? b : a) selection.
+#pragma once
+
+#include <cstddef>
+
+#if defined(RAT_SIMD_AVX2)
+#include <immintrin.h>
+#elif defined(RAT_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace rat::util::simd {
+
+/// Width-1 lane: the reference semantics every wider backend must match.
+struct ScalarLane {
+  static constexpr std::size_t kWidth = 1;
+  double v;
+
+  static ScalarLane load(const double* p) { return {*p}; }
+  static ScalarLane broadcast(double x) { return {x}; }
+  void store(double* p) const { *p = v; }
+
+  friend ScalarLane operator+(ScalarLane a, ScalarLane b) {
+    return {a.v + b.v};
+  }
+  friend ScalarLane operator-(ScalarLane a, ScalarLane b) {
+    return {a.v - b.v};
+  }
+  friend ScalarLane operator*(ScalarLane a, ScalarLane b) {
+    return {a.v * b.v};
+  }
+  friend ScalarLane operator/(ScalarLane a, ScalarLane b) {
+    return {a.v / b.v};
+  }
+  friend ScalarLane max(ScalarLane a, ScalarLane b) {
+    return {a.v < b.v ? b.v : a.v};
+  }
+};
+
+#if defined(RAT_SIMD_AVX2)
+
+/// Four doubles per op via AVX vaddpd/vsubpd/vmulpd/vdivpd/vmaxpd — each
+/// exactly rounded per lane, so results are bit-identical to ScalarLane.
+struct Avx2Lane {
+  static constexpr std::size_t kWidth = 4;
+  __m256d v;
+
+  static Avx2Lane load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static Avx2Lane broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+
+  friend Avx2Lane operator+(Avx2Lane a, Avx2Lane b) {
+    return {_mm256_add_pd(a.v, b.v)};
+  }
+  friend Avx2Lane operator-(Avx2Lane a, Avx2Lane b) {
+    return {_mm256_sub_pd(a.v, b.v)};
+  }
+  friend Avx2Lane operator*(Avx2Lane a, Avx2Lane b) {
+    return {_mm256_mul_pd(a.v, b.v)};
+  }
+  friend Avx2Lane operator/(Avx2Lane a, Avx2Lane b) {
+    return {_mm256_div_pd(a.v, b.v)};
+  }
+  friend Avx2Lane max(Avx2Lane a, Avx2Lane b) {
+    return {_mm256_max_pd(a.v, b.v)};
+  }
+};
+
+using NativeLane = Avx2Lane;
+// Internal linkage on purpose: TUs are compiled with different RAT_SIMD_*
+// macros (only batch.cpp gets the vector flags), so an inline variable
+// here would be an ODR violation.
+constexpr const char* kBackendName = "avx2";
+
+#elif defined(RAT_SIMD_NEON)
+
+/// Two doubles per op via NEON vaddq/vsubq/vmulq/vdivq/vmaxq_f64; like
+/// AVX2, every op is exactly rounded per lane.
+struct NeonLane {
+  static constexpr std::size_t kWidth = 2;
+  float64x2_t v;
+
+  static NeonLane load(const double* p) { return {vld1q_f64(p)}; }
+  static NeonLane broadcast(double x) { return {vdupq_n_f64(x)}; }
+  void store(double* p) const { vst1q_f64(p, v); }
+
+  friend NeonLane operator+(NeonLane a, NeonLane b) {
+    return {vaddq_f64(a.v, b.v)};
+  }
+  friend NeonLane operator-(NeonLane a, NeonLane b) {
+    return {vsubq_f64(a.v, b.v)};
+  }
+  friend NeonLane operator*(NeonLane a, NeonLane b) {
+    return {vmulq_f64(a.v, b.v)};
+  }
+  friend NeonLane operator/(NeonLane a, NeonLane b) {
+    return {vdivq_f64(a.v, b.v)};
+  }
+  friend NeonLane max(NeonLane a, NeonLane b) {
+    return {vmaxq_f64(a.v, b.v)};
+  }
+};
+
+using NativeLane = NeonLane;
+constexpr const char* kBackendName = "neon";
+
+#else
+
+using NativeLane = ScalarLane;
+constexpr const char* kBackendName = "scalar";
+
+#endif
+
+}  // namespace rat::util::simd

@@ -1,0 +1,482 @@
+// Property suite pinning the SoA batch kernel's bit-identity contract
+// (docs/VECTORIZATION.md): for every worksheet, predict(),
+// predict_unchecked(), and predict_batch() with scalar or SIMD lanes
+// produce byte-identical predictions — and every rewired consumer
+// (Monte Carlo, sweeps, tornado, methodology windows) returns exactly
+// what the per-point scalar implementation returned, at any thread
+// count, with identical validation diagnostics.
+//
+// Comparisons are memcmp over the raw double bit patterns, not
+// EXPECT_DOUBLE_EQ: the contract is identity, not closeness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/designspace.hpp"
+#include "core/methodology.hpp"
+#include "core/montecarlo.hpp"
+#include "core/parameters.hpp"
+#include "core/sensitivity.hpp"
+#include "core/throughput.hpp"
+#include "core/units.hpp"
+#include "rcsim/device.hpp"
+#include "util/rng.hpp"
+
+namespace rat::core {
+namespace {
+
+// ThroughputPrediction is thirteen doubles — no padding, so memcmp over
+// the whole struct is exact per-field bit comparison.
+static_assert(sizeof(ThroughputPrediction) == 13 * sizeof(double));
+
+::testing::AssertionResult same_bits(const ThroughputPrediction& a,
+                                     const ThroughputPrediction& b) {
+  if (std::memcmp(&a, &b, sizeof(ThroughputPrediction)) == 0)
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "predictions differ: speedup_sb " << a.speedup_sb << " vs "
+         << b.speedup_sb << ", t_comm " << a.t_comm_sec << " vs "
+         << b.t_comm_sec;
+}
+
+::testing::AssertionResult same_bits(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  if (!a.empty() &&
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) != 0)
+    return ::testing::AssertionFailure() << "columns differ bitwise";
+  return ::testing::AssertionSuccess();
+}
+
+/// The three case-study worksheets plus uniformly fuzzed in-domain
+/// mutants — every field Eqs. 1-11 read is randomized across several
+/// orders of magnitude, so main-loop/tail and subnormal-free edge
+/// behaviour get exercised far from the paper's operating points.
+std::vector<RatInputs> fuzzed_worksheets(std::size_t n_mutants,
+                                         std::uint64_t seed) {
+  std::vector<RatInputs> ws = {pdf1d_inputs(), pdf2d_inputs(), md_inputs()};
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n_mutants; ++i) {
+    RatInputs in = ws[i % 3];
+    in.dataset.elements_in =
+        static_cast<std::size_t>(rng.uniform(1.0, 1e7));
+    in.dataset.elements_out =
+        static_cast<std::size_t>(rng.uniform(1.0, 1e7));
+    in.dataset.bytes_per_element = rng.uniform(1.0, 16.0);
+    in.comm.ideal_bw_bytes_per_sec = rng.uniform(1e6, 1e10);
+    in.comm.alpha_write = rng.uniform(0.01, 1.0);
+    in.comm.alpha_read = rng.uniform(0.01, 1.0);
+    in.comp.ops_per_element = rng.uniform(0.1, 1e4);
+    in.comp.throughput_ops_per_cycle = rng.uniform(0.1, 100.0);
+    in.software.n_iterations =
+        static_cast<std::size_t>(rng.uniform(1.0, 1e6));
+    in.software.tsoft_sec = rng.uniform(1e-3, 1e4);
+    ws.push_back(std::move(in));
+  }
+  return ws;
+}
+
+double fuzz_clock(util::Rng& rng) { return rng.uniform(1e6, 5e8); }
+
+// ---- kernel-level identity -------------------------------------------------
+
+TEST(BatchIdentityKernel, CaseStudiesAndFuzzedMutants) {
+  const auto worksheets = fuzzed_worksheets(200, 0xB17B17);
+  util::Rng rng(42);
+  ThroughputBatch scalar_batch, simd_batch;
+  std::vector<ThroughputPrediction> reference;
+  std::vector<double> clocks;
+  for (const auto& in : worksheets) {
+    const double fclock = fuzz_clock(rng);
+    clocks.push_back(fclock);
+    const ThroughputPrediction ref = predict(in, fclock);
+    EXPECT_TRUE(same_bits(ref, predict_unchecked(in, fclock)));
+    reference.push_back(ref);
+    scalar_batch.push_back(in, fclock);
+    simd_batch.push_back(in, fclock);
+  }
+  predict_batch(scalar_batch, BatchKernel::kScalar);
+  predict_batch(simd_batch, BatchKernel::kSimd);
+  for (std::size_t i = 0; i < worksheets.size(); ++i) {
+    EXPECT_TRUE(same_bits(reference[i], scalar_batch.prediction(i)))
+        << "scalar lanes, point " << i;
+    EXPECT_TRUE(same_bits(reference[i], simd_batch.prediction(i)))
+        << "SIMD lanes (" << simd_backend() << "), point " << i;
+  }
+}
+
+TEST(BatchIdentityKernel, WholeColumnsScalarVsSimd) {
+  const auto worksheets = fuzzed_worksheets(509, 0xC0FFEE);  // prime-ish n
+  util::Rng rng(7);
+  ThroughputBatch a, b;
+  for (const auto& in : worksheets) {
+    const double fclock = fuzz_clock(rng);
+    a.push_back(in, fclock);
+    b.push_back(in, fclock);
+  }
+  predict_batch(a, BatchKernel::kScalar);
+  predict_batch(b, BatchKernel::kSimd);
+  EXPECT_TRUE(same_bits(a.out.t_write, b.out.t_write));
+  EXPECT_TRUE(same_bits(a.out.t_read, b.out.t_read));
+  EXPECT_TRUE(same_bits(a.out.t_comm, b.out.t_comm));
+  EXPECT_TRUE(same_bits(a.out.t_comp, b.out.t_comp));
+  EXPECT_TRUE(same_bits(a.out.t_rc_sb, b.out.t_rc_sb));
+  EXPECT_TRUE(same_bits(a.out.t_rc_db, b.out.t_rc_db));
+  EXPECT_TRUE(same_bits(a.out.speedup_sb, b.out.speedup_sb));
+  EXPECT_TRUE(same_bits(a.out.speedup_db, b.out.speedup_db));
+  EXPECT_TRUE(same_bits(a.out.util_comp_sb, b.out.util_comp_sb));
+  EXPECT_TRUE(same_bits(a.out.util_comm_sb, b.out.util_comm_sb));
+  EXPECT_TRUE(same_bits(a.out.util_comp_db, b.out.util_comp_db));
+  EXPECT_TRUE(same_bits(a.out.util_comm_db, b.out.util_comm_db));
+}
+
+TEST(BatchIdentityKernel, EverySizeCoversMainLoopAndTail) {
+  // Sizes 0..2*width+3 hit every main-loop/tail split the lane width can
+  // produce; each point must match its per-point prediction regardless of
+  // whether lanes or the scalar tail evaluated it.
+  const auto worksheets = fuzzed_worksheets(2 * simd_width() + 3, 0xDEAD);
+  util::Rng rng(3);
+  std::vector<double> clocks;
+  for (std::size_t i = 0; i < worksheets.size(); ++i)
+    clocks.push_back(fuzz_clock(rng));
+  for (std::size_t n = 0; n <= worksheets.size(); ++n) {
+    ThroughputBatch batch;
+    for (std::size_t i = 0; i < n; ++i)
+      batch.push_back(worksheets[i], clocks[i]);
+    predict_batch(batch);
+    ASSERT_EQ(batch.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_TRUE(same_bits(predict(worksheets[i], clocks[i]),
+                            batch.prediction(i)))
+          << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(BatchIdentityKernel, PushBackValidatesLikePredict) {
+  ThroughputBatch batch;
+  RatInputs bad = pdf1d_inputs();
+  bad.comm.alpha_write = 0.0;
+  EXPECT_THROW(batch.push_back(bad, core::mhz(100)), std::invalid_argument);
+  EXPECT_THROW(batch.push_back(pdf1d_inputs(), 0.0), std::invalid_argument);
+  EXPECT_TRUE(batch.empty());
+  // prediction() past the evaluated range is an error, not a stale read.
+  batch.push_back(pdf1d_inputs(), core::mhz(100));
+  EXPECT_THROW((void)batch.prediction(0), std::out_of_range);
+  predict_batch(batch);
+  EXPECT_NO_THROW((void)batch.prediction(0));
+}
+
+TEST(BatchIdentityKernel, ClearKeepsIdentityAcrossReuse) {
+  // Arena reuse (the thread_local consumer pattern) must not leak state
+  // between fills: a reused batch gives the same bits as a fresh one.
+  const auto worksheets = fuzzed_worksheets(37, 0xF00D);
+  util::Rng rng(11);
+  std::vector<double> clocks;
+  for (std::size_t i = 0; i < worksheets.size(); ++i)
+    clocks.push_back(fuzz_clock(rng));
+  ThroughputBatch reused;
+  for (int pass = 0; pass < 3; ++pass) {
+    reused.clear();
+    const std::size_t n = worksheets.size() - static_cast<std::size_t>(pass);
+    for (std::size_t i = 0; i < n; ++i)
+      reused.push_back(worksheets[i], clocks[i]);
+    predict_batch(reused);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_TRUE(same_bits(predict(worksheets[i], clocks[i]),
+                            reused.prediction(i)))
+          << "pass=" << pass << " i=" << i;
+  }
+}
+
+// ---- Monte Carlo -----------------------------------------------------------
+
+/// The pre-batch Monte-Carlo algorithm, verbatim: per sample, draw the
+/// six perturbations in order from the chunk's stream, copy the
+/// worksheet, run the checked scalar predict(). This is the reference
+/// run_monte_carlo must reproduce bit-for-bit.
+struct ScalarMcReference {
+  std::vector<double> s_sb, s_db, t_rc, t_comm, t_comp;
+  std::size_t meets_goal = 0;
+};
+
+ScalarMcReference scalar_mc_reference(const RatInputs& inputs,
+                                      const UncertaintyModel& model,
+                                      std::size_t n, double goal_speedup,
+                                      std::uint64_t seed) {
+  constexpr std::size_t kChunkSamples = 1024;  // run_monte_carlo's chunk
+  ScalarMcReference r;
+  const double base_clock = inputs.comp.fclock_hz.front();
+  for (std::size_t lo = 0; lo < n; lo += kChunkSamples) {
+    const std::size_t count = std::min(kChunkSamples, n - lo);
+    util::Rng rng(seed + lo / kChunkSamples);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double aw = std::min(
+          1.0, sample(model.alpha_write, inputs.comm.alpha_write, rng));
+      const double ar = std::min(
+          1.0, sample(model.alpha_read, inputs.comm.alpha_read, rng));
+      const double ops =
+          sample(model.ops_per_element, inputs.comp.ops_per_element, rng);
+      const double tp = sample(model.throughput_proc,
+                               inputs.comp.throughput_ops_per_cycle, rng);
+      const double tsoft =
+          sample(model.tsoft_sec, inputs.software.tsoft_sec, rng);
+      const double fclock = sample(model.fclock_hz, base_clock, rng);
+      RatInputs sampled = inputs;
+      sampled.comm.alpha_write = aw;
+      sampled.comm.alpha_read = ar;
+      sampled.comp.ops_per_element = ops;
+      sampled.comp.throughput_ops_per_cycle = tp;
+      sampled.software.tsoft_sec = tsoft;
+      const auto p = predict(sampled, fclock);
+      r.s_sb.push_back(p.speedup_sb);
+      r.s_db.push_back(p.speedup_db);
+      r.t_rc.push_back(p.t_rc_sb_sec);
+      r.t_comm.push_back(p.t_comm_sec);
+      r.t_comp.push_back(p.t_comp_sec);
+      if (goal_speedup > 0.0 && p.speedup_sb >= goal_speedup)
+        ++r.meets_goal;
+    }
+  }
+  return r;
+}
+
+TEST(BatchIdentityMonteCarlo, MatchesScalarReferenceAtEveryThreadCount) {
+  const RatInputs in = md_inputs();
+  const auto model = UncertaintyModel::typical(in);
+  constexpr std::size_t kN = 5000;  // 4 full chunks + a partial tail chunk
+  constexpr double kGoal = 10.0;
+  constexpr std::uint64_t kSeed = 99;
+
+  auto ref = scalar_mc_reference(in, model, kN, kGoal, kSeed);
+  std::vector<double> ref_sorted = ref.s_sb;
+  std::sort(ref_sorted.begin(), ref_sorted.end());
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    const auto r = run_monte_carlo(in, model, kN, kGoal, kSeed, threads);
+    EXPECT_TRUE(same_bits(ref_sorted, r.speedup_sb_samples))
+        << threads << " threads";
+    EXPECT_EQ(r.probability_of_goal,
+              static_cast<double>(ref.meets_goal) / static_cast<double>(kN))
+        << threads << " threads";
+    // Percentiles are derived from the sorted columns; spot-check one
+    // column's digest bitwise through the public result.
+    std::vector<double> t_comm = ref.t_comm;
+    const auto pc = percentiles_of(t_comm);
+    EXPECT_EQ(pc.p10, r.t_comm_sec.p10);
+    EXPECT_EQ(pc.p50, r.t_comm_sec.p50);
+    EXPECT_EQ(pc.p90, r.t_comm_sec.p90);
+    EXPECT_EQ(pc.mean, r.t_comm_sec.mean);
+  }
+}
+
+TEST(BatchIdentityMonteCarlo, BadBandRaisesTheScalarDiagnostic) {
+  // A normal band sitting entirely below zero produces out-of-domain
+  // samples; the scalar path validated every perturbed worksheet, so the
+  // batch path must surface the identical std::invalid_argument instead
+  // of feeding the kernel unvalidated points.
+  const RatInputs in = pdf1d_inputs();
+  auto model = UncertaintyModel::typical(in);
+  model.ops_per_element = InputDistribution::normal(-5.0, 0.1, -10.0, -1.0);
+  for (std::size_t threads : {1u, 8u}) {
+    EXPECT_THROW(run_monte_carlo(in, model, 256, 0.0, 7, threads),
+                 std::invalid_argument)
+        << threads << " threads";
+  }
+}
+
+// ---- sweeps and tornado ----------------------------------------------------
+
+TEST(BatchIdentitySweep, MatchesPerPointPredict) {
+  const RatInputs in = pdf2d_inputs();
+  const double fclock = core::mhz(100);
+  const ParamSetter set = [](RatInputs& w, double v) {
+    w.comp.throughput_ops_per_cycle = v;
+  };
+  // 1300 values: spans multiple 512-point sweep chunks plus a tail.
+  std::vector<double> values;
+  util::Rng rng(23);
+  for (int i = 0; i < 1300; ++i) values.push_back(rng.uniform(0.5, 64.0));
+
+  std::vector<ThroughputPrediction> reference;
+  for (double v : values) {
+    RatInputs w = in;
+    set(w, v);
+    reference.push_back(predict(w, fclock));
+  }
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    const auto out = sweep_parameter(in, set, values, fclock, threads);
+    ASSERT_EQ(out.size(), reference.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_TRUE(same_bits(reference[i], out[i]))
+          << threads << " threads, i=" << i;
+  }
+}
+
+TEST(BatchIdentitySweep, OutOfDomainValueRaisesTheScalarDiagnostic) {
+  const RatInputs in = pdf1d_inputs();
+  const ParamSetter set = [](RatInputs& w, double v) {
+    w.comm.alpha_write = v;
+  };
+  const std::vector<double> values = {0.5, -1.0, 0.7};
+  for (std::size_t threads : {1u, 8u}) {
+    EXPECT_THROW(sweep_parameter(in, set, values, core::mhz(100), threads),
+                 std::invalid_argument)
+        << threads << " threads";
+  }
+}
+
+TEST(BatchIdentityTornado, MatchesPerPointPredict) {
+  const RatInputs in = md_inputs();
+  const double fclock = core::mhz(75);
+  const double fraction = 0.2;
+  const auto entries = tornado(in, fclock, fraction, 1);
+  const auto entries8 = tornado(in, fclock, fraction, 8);
+  ASSERT_EQ(entries.size(), entries8.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].parameter, entries8[i].parameter);
+    EXPECT_EQ(entries[i].speedup_low, entries8[i].speedup_low);
+    EXPECT_EQ(entries[i].speedup_high, entries8[i].speedup_high);
+  }
+  // Each entry's range must be exactly the per-point predictions of the
+  // perturbed worksheets (the batch holds lo/hi pairs param-major).
+  for (const auto& e : entries) {
+    SCOPED_TRACE(e.parameter);
+    RatInputs lo_in = in, hi_in = in;
+    const auto apply = [&](RatInputs& w, double scale) {
+      if (e.parameter == "alpha_write")
+        w.comm.alpha_write = std::min(w.comm.alpha_write * scale, 1.0);
+      else if (e.parameter == "alpha_read")
+        w.comm.alpha_read = std::min(w.comm.alpha_read * scale, 1.0);
+      else if (e.parameter == "ops_per_element")
+        w.comp.ops_per_element *= scale;
+      else if (e.parameter == "throughput_proc")
+        w.comp.throughput_ops_per_cycle *= scale;
+      else if (e.parameter == "ideal_bandwidth")
+        w.comm.ideal_bw_bytes_per_sec *= scale;
+      else if (e.parameter == "bytes_per_element")
+        w.dataset.bytes_per_element *= scale;
+      else
+        FAIL() << "unknown tornado parameter " << e.parameter;
+    };
+    apply(lo_in, 1.0 - fraction);
+    apply(hi_in, 1.0 + fraction);
+    const double s_lo = predict(lo_in, fclock).speedup_sb;
+    const double s_hi = predict(hi_in, fclock).speedup_sb;
+    EXPECT_EQ(e.speedup_low, std::min(s_lo, s_hi));
+    EXPECT_EQ(e.speedup_high, std::max(s_lo, s_hi));
+  }
+}
+
+// ---- methodology windows ---------------------------------------------------
+
+DesignCandidate passing_candidate(const std::string& name) {
+  DesignCandidate c;
+  c.inputs = pdf1d_inputs();
+  c.inputs.name = name;
+  c.decision_clock_hz = core::mhz(100);
+  return c;
+}
+
+DesignCandidate failing_candidate(const std::string& name) {
+  DesignCandidate c = passing_candidate(name);
+  // Tiny computational throughput: the throughput gate rejects it.
+  c.inputs.comp.throughput_ops_per_cycle = 1e-6;
+  return c;
+}
+
+DesignCandidate invalid_candidate(const std::string& name) {
+  DesignCandidate c = passing_candidate(name);
+  c.inputs.comm.alpha_write = 0.0;  // fails RatInputs::validate()
+  return c;
+}
+
+Requirements lenient_requirements() {
+  Requirements req;
+  req.min_speedup = 0.001;
+  req.precision = std::nullopt;
+  return req;
+}
+
+TEST(BatchIdentityMethodology, InvalidCandidateAfterAcceptedIsNeverRaised) {
+  // Serial early-exit semantics: the run stops at the first accepted
+  // candidate, so a later invalid worksheet — even one sitting in the
+  // same pre-evaluated window, whose validation error is deferred — must
+  // not surface.
+  std::vector<DesignCandidate> candidates;
+  candidates.push_back(failing_candidate("reject-me"));
+  candidates.push_back(passing_candidate("accept-me"));
+  candidates.push_back(invalid_candidate("never-reached"));
+  MethodologyOutcome out;
+  ASSERT_NO_THROW(out = run_methodology(candidates, lenient_requirements(),
+                                        rcsim::virtex4_lx100(), 1));
+  EXPECT_TRUE(out.proceed);
+  ASSERT_TRUE(out.accepted_index.has_value());
+  EXPECT_EQ(*out.accepted_index, 1u);
+
+  // The parallel path has always evaluated a whole window speculatively,
+  // so an invalid candidate sharing the accepted design's window raised
+  // its validation error before the in-order merge — the batch rewire
+  // must preserve that semantics too, not silently swallow the error.
+  EXPECT_THROW(run_methodology(candidates, lenient_requirements(),
+                               rcsim::virtex4_lx100(), 4),
+               std::invalid_argument);
+}
+
+TEST(BatchIdentityMethodology, InvalidCandidateBeforeAcceptedStillThrows) {
+  std::vector<DesignCandidate> candidates;
+  candidates.push_back(invalid_candidate("bad-first"));
+  candidates.push_back(passing_candidate("good-second"));
+  for (std::size_t threads : {1u, 4u}) {
+    EXPECT_THROW(run_methodology(candidates, lenient_requirements(),
+                                 rcsim::virtex4_lx100(), threads),
+                 std::invalid_argument)
+        << threads << " threads";
+  }
+}
+
+TEST(BatchIdentityMethodology, WindowedRunMatchesSerialBitwise) {
+  // 600 candidates exceed both the serial window (256) and any parallel
+  // window, with the accepted design deep enough (index 517) that
+  // several windows fill and merge before the early exit.
+  std::vector<DesignCandidate> candidates;
+  for (int i = 0; i < 600; ++i) {
+    if (i == 517)
+      candidates.push_back(passing_candidate("winner"));
+    else
+      candidates.push_back(failing_candidate("loser-" + std::to_string(i)));
+  }
+  const auto req = lenient_requirements();
+  const auto serial =
+      run_methodology(candidates, req, rcsim::virtex4_lx100(), 1);
+  EXPECT_TRUE(serial.proceed);
+  ASSERT_TRUE(serial.accepted_index.has_value());
+  EXPECT_EQ(*serial.accepted_index, 517u);
+  for (std::size_t threads : {2u, 8u}) {
+    const auto par =
+        run_methodology(candidates, req, rcsim::virtex4_lx100(), threads);
+    EXPECT_EQ(serial.proceed, par.proceed);
+    EXPECT_EQ(serial.accepted_index, par.accepted_index);
+    EXPECT_EQ(serial.last_reject, par.last_reject);
+    ASSERT_EQ(serial.trace.size(), par.trace.size()) << threads << " threads";
+    for (std::size_t i = 0; i < serial.trace.size(); ++i) {
+      EXPECT_EQ(serial.trace[i].candidate_index, par.trace[i].candidate_index);
+      EXPECT_EQ(serial.trace[i].candidate_name, par.trace[i].candidate_name);
+      EXPECT_EQ(serial.trace[i].step, par.trace[i].step);
+      EXPECT_EQ(serial.trace[i].passed, par.trace[i].passed);
+      EXPECT_EQ(serial.trace[i].detail, par.trace[i].detail);
+    }
+    ASSERT_EQ(serial.predictions.size(), par.predictions.size());
+    for (std::size_t i = 0; i < serial.predictions.size(); ++i)
+      EXPECT_TRUE(same_bits(serial.predictions[i], par.predictions[i]))
+          << threads << " threads, i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace rat::core
