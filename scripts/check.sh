@@ -59,21 +59,25 @@ cmake --build build-tsan --target test_parallel test_obs test_svc \
 ctest --test-dir build-tsan --output-on-failure \
   -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism|Obs|Svc|Store|BatchIdentity)'
 
-# ASan+UBSan pass over the worksheet ingestion path, the durable store
-# and the SIMD batch kernel: the io tests (strict parser, loaders, batch
-# runner + checkpoint resume), the store tests (including the recovery
-# property suite, which truncates journals at every byte boundary and
-# bit-flips payloads) and the BatchIdentity suite (the '^Batch' pattern
-# covers it: lane loads/stores and the SoA arena run sanitized) plus the
-# rat_batch binary, then a smoke run on the checked-in fixture directory
-# whose broken.rat must yield a per-file file:line:column diagnostic and
-# the documented exit code 2 (partial failure) while the three good
-# worksheets still evaluate.
-echo "==== AddressSanitizer+UBSan pass (worksheet ingestion + store + batch)"
+# ASan+UBSan pass over the worksheet ingestion path, the durable store,
+# the SIMD batch kernel and the prediction service: the io tests (strict
+# parser, loaders, batch runner + checkpoint resume), the store tests
+# (including the recovery property suite, which truncates journals at
+# every byte boundary and bit-flips payloads), the BatchIdentity suite
+# (the '^Batch' pattern covers it: lane loads/stores and the SoA arena
+# run sanitized) and the svc suites (UBSan exercises the deadline
+# clamp — SvcService.HugeDeadlineIsClampedNotUndefined feeds 1e308
+# through the float->uint64 cast) plus the rat_batch binary, then a
+# smoke run on the checked-in fixture directory whose broken.rat must
+# yield a per-file file:line:column diagnostic and the documented exit
+# code 2 (partial failure) while the three good worksheets still
+# evaluate.
+echo "==== AddressSanitizer+UBSan pass (ingestion + store + batch + svc)"
 cmake -B build-asan -G Ninja -DRAT_SANITIZE=address,undefined
-cmake --build build-asan --target test_io test_store test_batch rat_batch
+cmake --build build-asan --target test_io test_store test_batch test_svc \
+  rat_batch
 ctest --test-dir build-asan --output-on-failure \
-  -R '^(LoadWorksheet|WorksheetDir|Batch|Store)'
+  -R '^(LoadWorksheet|WorksheetDir|Batch|Store|Svc)'
 
 # Scalar-fallback pass: the same identity suite with SIMD forced off
 # (-DRAT_SIMD=off), so the width-1 reference build — what a host without
@@ -207,6 +211,88 @@ print("service metrics OK:", c["svc.cache.hit"], "cache hits,",
       c["svc.responses.ok"], "ok,", c["svc.responses.error"], "errors")
 EOF
 rm -rf "$soak_dir"
+
+# Slow-reader + idle-horde soak: the same TSan rat_serve must hold 500
+# idle connections (with a constant thread count — the event loop's
+# point) and a client that pipelines 400 requests but never reads its
+# socket. The bounded write queue must drop the slow reader
+# (svc.server.slow_client_dropped) instead of wedging, a well-behaved
+# client threading through the chaos must see byte-identical responses,
+# and SIGTERM must still drain to exit 0.
+echo "==== rat_serve slow-reader + 500-idle-connection soak (TSan build)"
+slow_dir=$(mktemp -d)
+build-tsan/src/apps/rat_serve --port=0 --port-file="$slow_dir/port" \
+  --queue-capacity=4096 --write-buffer-bytes=8192 --so-sndbuf=4096 \
+  --metrics="$slow_dir/metrics.json" \
+  >"$slow_dir/stdout" 2>"$slow_dir/stderr" &
+serve_pid=$!
+for _ in $(seq 100); do
+  [ -s "$slow_dir/port" ] && break
+  sleep 0.1
+done
+[ -s "$slow_dir/port" ] || { echo "rat_serve: never wrote port file"; exit 1; }
+python3 - "$(cat "$slow_dir/port")" <<'EOF'
+import json, socket, sys
+port = int(sys.argv[1])
+sheet = open("tests/fixtures/worksheets/pdf1d.rat").read()
+def req(rid):
+    return (json.dumps({"schema": "rat.svc.v1", "id": rid,
+                        "op": "evaluate", "worksheet": sheet}) + "\n").encode()
+
+# 1. Idle horde: 500 connections that never speak.
+idle = [socket.create_connection(("127.0.0.1", port)) for _ in range(500)]
+
+# 2. Slow reader: tiny receive window, 400 pipelined requests, never a
+#    single read. A send error mid-burst just means the server already
+#    dropped us — which is exactly the policy under test.
+slow = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+slow.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+slow.connect(("127.0.0.1", port))
+try:
+    for i in range(400):
+        slow.sendall(req(f"slow{i}"))
+except OSError:
+    pass
+
+# 3. A well-behaved client round-trips through the chaos; one id group,
+#    so all 100 responses must be byte-identical (cache hit == miss).
+lines = set()
+with socket.create_connection(("127.0.0.1", port)) as s:
+    f = s.makefile("rw")
+    for _ in range(100):
+        f.write(req("fast").decode())
+        f.flush()
+        line = f.readline()
+        assert line.endswith("\n"), "short read: blocked behind slow reader"
+        lines.add(line)
+assert len(lines) == 1, "responses differ in bytes across hits/misses"
+assert '"status":"ok"' in next(iter(lines))
+for c in idle:
+    c.close()
+slow.close()
+print("slow-reader soak OK: 100 clean round-trips, 500 idle held")
+EOF
+kill -TERM "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "rat_serve: expected SIGTERM drain to exit 0, got $rc"
+  cat "$slow_dir/stderr"
+  exit 1
+fi
+python3 - "$slow_dir/metrics.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+c = doc["counters"]
+assert c["svc.server.connections"] >= 502, c.get("svc.server.connections")
+assert c["svc.server.slow_client_dropped"] >= 1, \
+    c.get("svc.server.slow_client_dropped")
+assert c["svc.cache.hit"] > 0, c.get("svc.cache.hit")
+print("slow-reader metrics OK:", int(c["svc.server.connections"]), "conns,",
+      int(c["svc.server.slow_client_dropped"]), "slow drop(s),",
+      int(c["svc.cache.hit"]), "cache hits")
+EOF
+rm -rf "$slow_dir"
 
 # Stdio smoke: piped requests must each get one response and stdin EOF
 # must drain the server to exit 0 (a hang here is the regression).

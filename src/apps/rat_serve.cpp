@@ -27,17 +27,27 @@
 //                                   requests get E_OVERLOADED
 //             [--deadline-ms=X]     default per-request deadline
 //                                   (default 0 = none)
+//             [--backlog=N]         listen(2) backlog (default 64)
+//             [--write-buffer-bytes=N]
+//                                   per-connection bound on unsent
+//                                   response bytes (default 4 MiB);
+//                                   clients that exceed it are dropped
+//                                   as slow instead of blocking others
+//             [--so-sndbuf=N]       SO_SNDBUF for accepted sockets
+//                                   (default 0 = OS default)
 //             [--metrics=<path>]    rat.metrics.v1 JSON on exit
 //                                   (RAT_METRICS env is the fallback);
 //                                   summary table on stderr
 //
 // Graceful shutdown: SIGINT/SIGTERM (or a {"op":"shutdown"} request)
 // stop accepting, drain every admitted request, flush --metrics, exit 0.
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -54,7 +64,8 @@ int usage(const char* program) {
                "usage: %s [--port=N] [--port-file=<path>] [--stdio] "
                "[--no-tcp] [--threads=N] [--cache-capacity=N] "
                "[--cache-dir=<path>] [--queue-capacity=N] "
-               "[--deadline-ms=X] [--metrics=<path>]\n",
+               "[--deadline-ms=X] [--backlog=N] [--write-buffer-bytes=N] "
+               "[--so-sndbuf=N] [--metrics=<path>]\n",
                program);
   return 1;
 }
@@ -78,7 +89,8 @@ int main(int argc, char** argv) {
 
   static const std::vector<std::string> known{
       "port", "port-file", "stdio", "no-tcp", "threads", "cache-capacity",
-      "cache-dir", "queue-capacity", "deadline-ms", "metrics", "help"};
+      "cache-dir", "queue-capacity", "deadline-ms", "backlog",
+      "write-buffer-bytes", "so-sndbuf", "metrics", "help"};
   for (const std::string& k : cli.keys()) {
     bool ok = false;
     for (const std::string& kn : known) ok |= (k == kn);
@@ -103,13 +115,22 @@ int main(int argc, char** argv) {
         cli.get_size_t("cache-capacity", svc_cfg.cache_capacity);
     svc_cfg.queue_capacity =
         cli.get_size_t("queue-capacity", svc_cfg.queue_capacity, 1);
+    const long long backlog = cli.get_int("backlog", srv_cfg.backlog);
+    if (backlog < 1 || backlog > 65535)
+      throw std::invalid_argument("Cli: --backlog outside [1, 65535]");
+    srv_cfg.backlog = static_cast<int>(backlog);
+    srv_cfg.max_write_buffer_bytes = cli.get_size_t(
+        "write-buffer-bytes", srv_cfg.max_write_buffer_bytes, 1);
+    srv_cfg.so_sndbuf = static_cast<int>(
+        cli.get_size_t("so-sndbuf", 0, 0, std::size_t{1} << 30));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rat_serve: %s\n", e.what());
     return usage(argv[0]);
   }
   svc_cfg.default_deadline_ms = cli.get_double("deadline-ms", 0.0);
-  if (svc_cfg.default_deadline_ms < 0.0) {
-    std::fprintf(stderr, "rat_serve: --deadline-ms must be >= 0\n");
+  if (!std::isfinite(svc_cfg.default_deadline_ms) ||
+      svc_cfg.default_deadline_ms < 0.0) {
+    std::fprintf(stderr, "rat_serve: --deadline-ms must be finite and >= 0\n");
     return usage(argv[0]);
   }
   svc_cfg.cache_dir = cli.get_or("cache-dir", "");

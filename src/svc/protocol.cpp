@@ -79,8 +79,12 @@ Request parse_request(const std::string& line) {
       req.file = value.string;
       req.has_file = true;
     } else if (key == "deadline_ms") {
-      if (!value.is_number() || !(value.number > 0.0))
-        throw bad("\"deadline_ms\" must be a positive number");
+      // The JSON layer already refuses non-finite literals, but the
+      // deadline feeds a float->integer cast downstream, so enforce
+      // finiteness here too rather than rely on that coincidence.
+      if (!value.is_number() || !std::isfinite(value.number) ||
+          !(value.number > 0.0))
+        throw bad("\"deadline_ms\" must be a positive finite number");
       req.deadline_ms = value.number;
     } else if (key == "no_cache") {
       if (!value.is_bool()) throw bad("\"no_cache\" must be a boolean");

@@ -7,8 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <system_error>
 #include <utility>
 
@@ -26,68 +28,78 @@ void obs_count(const char* name) {
   throw std::system_error(errno, std::generic_category(), what);
 }
 
+void set_nonblock(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/// pipe2(O_CLOEXEC) where available, pipe + fcntl otherwise: internal
+/// fds must never leak into an exec'd child.
+void make_pipe(int fds[2]) {
+#if defined(__linux__) && defined(O_CLOEXEC)
+  if (::pipe2(fds, O_CLOEXEC) == 0) return;
+#endif
+  if (::pipe(fds) != 0) throw_errno("svc::Server: pipe");
+  set_cloexec(fds[0]);
+  set_cloexec(fds[1]);
+}
+
+/// accept4(SOCK_NONBLOCK | SOCK_CLOEXEC) with a portable fallback. The
+/// event loop requires non-blocking fds from birth, and accepted sockets
+/// must not leak into exec'd children.
+int accept_nonblock_cloexec(int listen_fd) {
+#if defined(SOCK_NONBLOCK) && defined(SOCK_CLOEXEC)
+  return ::accept4(listen_fd, nullptr, nullptr,
+                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+#else
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd >= 0) {
+    set_nonblock(fd);
+    set_cloexec(fd);
+  }
+  return fd;
+#endif
+}
+
 }  // namespace
 
-/// One client: a read fd the reader thread drains and a write fd the
-/// service's response callbacks target. Writes and the closed flag share
-/// one mutex, so a response racing connection teardown either completes
-/// or is dropped cleanly — never a write to a reused descriptor.
+/// One client connection. Every field is owned by the event loop thread;
+/// worker threads only ever hold the shared_ptr (to route a finished
+/// response back through the completion queue) and never touch state.
 struct Server::Connection {
   int read_fd = -1;
-  int write_fd = -1;
-  bool is_socket = false;  ///< sockets: send(MSG_NOSIGNAL) + close both
-  std::mutex write_mu;
-  bool closed = false;
+  int write_fd = -1;            ///< == read_fd for sockets; 1 for stdio
+  bool is_socket = false;
+  bool read_shut = false;       ///< stop reading: EOF, oversize, or drain
+  bool close_when_idle = false; ///< close once flushed and nothing pending
+  bool dead = false;            ///< fd closed; late responses are dropped
+  std::size_t outstanding = 0;  ///< submitted requests awaiting a response
+  std::string rbuf;             ///< bytes read, not yet a complete line
+  std::string wbuf;             ///< outbound bytes; [woff, size) unsent
+  std::size_t woff = 0;
 
-  void send_line(const std::string& line) {
-    std::lock_guard lock(write_mu);
-    if (closed) {
-      obs_count("svc.server.responses_dropped");
-      return;
-    }
-    std::string out = line;
-    out += '\n';
-    std::size_t off = 0;
-    while (off < out.size()) {
-      const ssize_t n =
-          is_socket
-              ? ::send(write_fd, out.data() + off, out.size() - off,
-                       MSG_NOSIGNAL)
-              : ::write(write_fd, out.data() + off, out.size() - off);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        obs_count("svc.server.write_failed");
-        return;
-      }
-      off += static_cast<std::size_t>(n);
-    }
-  }
-
-  void close_fds() {
-    std::lock_guard lock(write_mu);
-    if (closed) return;
-    closed = true;
-    if (is_socket) {
-      ::close(read_fd);  // read_fd == write_fd for sockets
-    }
-    // stdio: leave fds 0/1 to the process.
-  }
-
-  /// Wake a reader blocked in poll/read without closing anything.
-  void shutdown_read() {
-    if (is_socket) ::shutdown(read_fd, SHUT_RD);
-  }
+  std::size_t pending() const { return wbuf.size() - woff; }
 };
 
 Server::Server(Service& service, ServerConfig config)
     : service_(service), config_(config) {
-  int pipe_fds[2];
-  if (::pipe(pipe_fds) != 0) throw_errno("svc::Server: pipe");
-  wake_r_ = pipe_fds[0];
-  wake_w_ = pipe_fds[1];
+  int fds[2];
+  make_pipe(fds);
+  wake_r_ = fds[0];
+  wake_w_ = fds[1];
   // Non-blocking write end: a signal handler must never block on a full
   // pipe; one byte is enough to latch the stop request.
-  ::fcntl(wake_w_, F_SETFL, O_NONBLOCK);
+  set_nonblock(wake_w_);
+  make_pipe(fds);
+  notify_r_ = fds[0];
+  notify_w_ = fds[1];
+  set_nonblock(notify_r_);
+  set_nonblock(notify_w_);
 }
 
 Server::~Server() {
@@ -99,6 +111,8 @@ Server::~Server() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
   ::close(wake_r_);
   ::close(wake_w_);
+  ::close(notify_r_);
+  ::close(notify_w_);
 }
 
 void Server::trigger_stop() {
@@ -108,7 +122,16 @@ void Server::trigger_stop() {
 
 void Server::start() {
   if (config_.tcp) {
+#if defined(SOCK_NONBLOCK) && defined(SOCK_CLOEXEC)
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+#else
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ >= 0) {
+      set_nonblock(listen_fd_);
+      set_cloexec(listen_fd_);
+    }
+#endif
     if (listen_fd_ < 0) throw_errno("svc::Server: socket");
     const int one = 1;
     ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -119,182 +142,372 @@ void Server::start() {
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
                sizeof addr) != 0)
       throw_errno("svc::Server: bind 127.0.0.1");
-    if (::listen(listen_fd_, 64) != 0) throw_errno("svc::Server: listen");
+    if (::listen(listen_fd_, config_.backlog > 0 ? config_.backlog : 1) != 0)
+      throw_errno("svc::Server: listen");
     socklen_t len = sizeof addr;
     if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
                       &len) != 0)
       throw_errno("svc::Server: getsockname");
     port_ = ntohs(addr.sin_port);
-    accept_thread_ = std::thread([this] { accept_loop(); });
   }
   if (config_.stdio) {
     auto conn = std::make_shared<Connection>();
     conn->read_fd = STDIN_FILENO;
     conn->write_fd = STDOUT_FILENO;
     conn->is_socket = false;
-    std::thread t([this, conn] { reader_loop(conn); });
-    add_connection(conn, std::move(t));
+    set_nonblock(conn->read_fd);
+    set_nonblock(conn->write_fd);
+    conns_.push_back(std::move(conn));
   }
   // A shutdown op drains the whole server, not just the service.
   service_.set_shutdown_handler([this] { trigger_stop(); });
+  loop_thread_ = std::thread([this] { event_loop(); });
   started_ = true;
 }
 
-void Server::add_connection(std::shared_ptr<Connection> conn,
-                            std::thread thread) {
-  std::lock_guard lock(conns_mu_);
-  conns_.push_back(std::move(conn));
-  conn_threads_.push_back(std::move(thread));
+void Server::run() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop exits only once the service reports no in-flight work, but
+  // wait_drained() also covers direct library submissions that bypassed
+  // the transport entirely.
+  service_.begin_drain();
+  service_.wait_drained();
+  ran_ = true;
 }
 
-void Server::accept_loop() {
+Server::Stats Server::stats() const {
+  Stats st;
+  st.connections = connections_.load(std::memory_order_relaxed);
+  st.slow_clients_dropped =
+      slow_clients_dropped_.load(std::memory_order_relaxed);
+  st.responses_dropped = responses_dropped_.load(std::memory_order_relaxed);
+  st.write_failures = write_failures_.load(std::memory_order_relaxed);
+  return st;
+}
+
+void Server::event_loop() {
+  std::optional<obs::ScopedTimer> shutdown_timer;
+  std::vector<pollfd> pfds;
+  std::vector<std::shared_ptr<Connection>> slots;  // pfds[fixed+i] -> conn
   for (;;) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_r_, POLLIN, 0}};
-    const int rc = ::poll(fds, 2, -1);
+    pfds.clear();
+    slots.clear();
+    // The wake pipe is latching (never read), so it is polled only until
+    // the drain starts — afterwards it would spin the loop.
+    int wake_idx = -1;
+    if (!draining_) {
+      wake_idx = static_cast<int>(pfds.size());
+      pfds.push_back({wake_r_, POLLIN, 0});
+    }
+    const int notify_idx = static_cast<int>(pfds.size());
+    pfds.push_back({notify_r_, POLLIN, 0});
+    int listen_idx = -1;
+    if (!draining_ && listen_fd_ >= 0) {
+      listen_idx = static_cast<int>(pfds.size());
+      pfds.push_back({listen_fd_, POLLIN, 0});
+    }
+    const std::size_t fixed = pfds.size();
+    for (const auto& c : conns_) {
+      if (c->dead) continue;
+      const bool want_read = !c->read_shut;
+      const bool want_write = c->pending() > 0;
+      if (c->read_fd == c->write_fd) {
+        if (want_read || want_write) {
+          pfds.push_back({c->read_fd,
+                          static_cast<short>((want_read ? POLLIN : 0) |
+                                             (want_write ? POLLOUT : 0)),
+                          0});
+          slots.push_back(c);
+        }
+      } else {  // stdio: distinct read/write fds, one slot each
+        if (want_read) {
+          pfds.push_back({c->read_fd, POLLIN, 0});
+          slots.push_back(c);
+        }
+        if (want_write) {
+          pfds.push_back({c->write_fd, POLLOUT, 0});
+          slots.push_back(c);
+        }
+      }
+    }
+
+    // During drain the service's in-flight count can hit zero without
+    // any fd becoming ready (workers only ping the notify pipe when a
+    // response lands), so poll with a short timeout to re-check.
+    const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                          draining_ ? 20 : -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
-      return;
+      break;
     }
-    if (fds[1].revents != 0) return;  // stop requested
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+
+    if (wake_idx >= 0 && (pfds[wake_idx].revents & POLLIN) != 0) {
+      enter_drain();
+      shutdown_timer.emplace("svc.server.shutdown");
+    }
+    if ((pfds[notify_idx].revents & POLLIN) != 0) {
+      char buf[4096];
+      while (::read(notify_r_, buf, sizeof buf) > 0) {
+      }
+    }
+    process_completions();
+    if (listen_idx >= 0 && !draining_ &&
+        (pfds[listen_idx].revents & POLLIN) != 0)
+      do_accept();
+
+    for (std::size_t i = fixed; i < pfds.size(); ++i) {
+      const auto& c = slots[i - fixed];
+      const short events = pfds[i].events;
+      const short rev = pfds[i].revents;
+      if (rev == 0 || c->dead) continue;
+      if ((events & POLLIN) != 0 &&
+          (rev & (POLLIN | POLLHUP | POLLERR)) != 0 && !c->read_shut)
+        handle_readable(c);
+      if (c->dead) continue;
+      if ((events & POLLOUT) != 0 &&
+          (rev & (POLLOUT | POLLHUP | POLLERR)) != 0)
+        flush_writes(c);
+      if (c->dead) continue;
+      if ((rev & POLLNVAL) != 0) close_connection(*c);
+    }
+
+    // Connections that said goodbye (EOF, oversize) close once their
+    // last pending response is out the door.
+    for (const auto& c : conns_)
+      if (!c->dead && c->close_when_idle && c->outstanding == 0 &&
+          c->pending() == 0)
+        close_connection(*c);
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const auto& c) { return c->dead; }),
+                 conns_.end());
+
+    if (draining_) {
+      if (obs::now_ns() > flush_deadline_ns_) {
+        // Flush budget exhausted: whoever still has unread responses is
+        // a slow client; drop them so shutdown always terminates.
+        for (const auto& c : conns_)
+          if (!c->dead && c->pending() > 0) drop_slow_client(c);
+      }
+      bool flushed = true;
+      for (const auto& c : conns_)
+        if (!c->dead && c->pending() > 0) flushed = false;
+      // Order matters: once in_flight reads zero every respond() — and
+      // therefore every enqueue — has completed, so a subsequent empty
+      // completion queue really means nothing is pending anywhere.
+      const bool in_flight_zero = service_.stats().in_flight == 0;
+      bool queue_empty;
+      {
+        std::lock_guard lock(done_mu_);
+        queue_empty = done_.empty();
+      }
+      if (flushed && in_flight_zero && queue_empty) break;
+    }
+  }
+  // Now, and only now, tear the connections down (stdio fds 0/1 are left
+  // to the process).
+  for (const auto& c : conns_) close_connection(*c);
+  conns_.clear();
+}
+
+void Server::enter_drain() {
+  draining_ = true;
+  // 1. Stop accepting.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // 2. Stop reading; connections stay open so responses still flow.
+  for (const auto& c : conns_) c->read_shut = true;
+  // 3. No new requests can arrive (reads stopped above, on this same
+  //    thread); refuse stragglers submitted directly by library users.
+  service_.begin_drain();
+  flush_deadline_ns_ =
+      obs::now_ns() +
+      static_cast<std::uint64_t>(
+          config_.drain_flush_timeout_ms > 0 ? config_.drain_flush_timeout_ms
+                                             : 0) *
+          1'000'000ull;
+}
+
+void Server::do_accept() {
+  for (;;) {
+    const int fd = accept_nonblock_cloexec(listen_fd_);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;
+      return;  // EAGAIN: everything pending was accepted
     }
+    if (config_.so_sndbuf > 0)
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.so_sndbuf,
+                   sizeof config_.so_sndbuf);
+    connections_.fetch_add(1, std::memory_order_relaxed);
     obs_count("svc.server.connections");
     auto conn = std::make_shared<Connection>();
     conn->read_fd = fd;
     conn->write_fd = fd;
     conn->is_socket = true;
-    std::thread t([this, conn] { reader_loop(conn); });
-    add_connection(conn, std::move(t));
+    conns_.push_back(std::move(conn));
   }
 }
 
-void Server::reader_loop(std::shared_ptr<Connection> conn) {
-  std::string buffer;
-  bool stop = false;
-  auto submit_line = [this, &conn](std::string line) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) return;  // blank keepalive lines are legal
-    // The callback holds the connection alive until the response lands,
-    // even if the reader (and the server's registry) let go first.
-    service_.submit(line,
-                    [conn](std::string response) { conn->send_line(response); });
-  };
-  bool oversize = false;
-  while (!stop) {
-    // Deliver every complete line already buffered.
-    std::size_t start = 0;
-    for (;;) {
-      const std::size_t nl = buffer.find('\n', start);
-      if (nl == std::string::npos) break;
-      if (nl - start > config_.max_line_bytes) {
-        oversize = true;
-        break;
-      }
-      submit_line(buffer.substr(start, nl - start));
-      start = nl + 1;
-    }
-    buffer.erase(0, start);
-    // Both a complete line over the limit and a partial line that can no
-    // longer fit under it are protocol violations; the connection drops.
-    if (oversize || buffer.size() > config_.max_line_bytes) {
-      conn->send_line(error_response(
-          "", SvcErrorCode::kBadRequest,
-          "request line exceeds " +
-              std::to_string(config_.max_line_bytes) + " bytes"));
-      break;
-    }
-
-    pollfd fds[2] = {{conn->read_fd, POLLIN, 0}, {wake_r_, POLLIN, 0}};
-    const int rc = ::poll(fds, 2, -1);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (fds[1].revents != 0) return;  // draining: stop reading, keep fd
-    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-
-    char chunk[65536];
-    const ssize_t n = ::read(conn->read_fd, chunk, sizeof chunk);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (n == 0) {
-      // EOF. A final unterminated line still counts as a request.
-      if (!buffer.empty()) submit_line(std::move(buffer));
-      stop = true;
-      break;
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
+void Server::handle_readable(const std::shared_ptr<Connection>& conn) {
+  char chunk[65536];
+  const ssize_t n = ::read(conn->read_fd, chunk, sizeof chunk);
+  if (n < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+    close_connection(*conn);  // client went away; its responses drop
+    return;
   }
-  // Distinguish a client-initiated end (EOF / error / oversize: close,
-  // dropping any in-flight responses — the client hung up) from a
-  // drain-initiated one (SHUT_RD also reads as EOF: keep the fd open so
-  // pending responses still land; run() closes it after the drain).
-  pollfd wake{wake_r_, POLLIN, 0};
-  const bool draining = ::poll(&wake, 1, 0) > 0 && (wake.revents & POLLIN);
-  if (!draining) {
+  if (n == 0) {
+    // EOF. A final unterminated line still counts as a request.
+    if (!conn->rbuf.empty()) {
+      std::string line;
+      line.swap(conn->rbuf);
+      submit_line(conn, std::move(line));
+    }
+    conn->read_shut = true;
     if (conn->is_socket) {
-      conn->close_fds();
+      // Half-close: flush every response the client is still owed, then
+      // close once nothing is pending.
+      conn->close_when_idle = true;
     } else {
-      // stdin EOF (or a stdio protocol violation): no more requests can
-      // ever arrive on this connection, and a piped `rat_serve --stdio`
-      // must terminate rather than hang. Drain the whole server — the
-      // connection stays open so in-flight responses still reach stdout;
-      // run() closes it after the drain.
+      // stdin EOF: no more requests can ever arrive, and a piped
+      // `rat_serve --stdio` must terminate rather than hang. Drain the
+      // whole server — the connection stays open so in-flight responses
+      // still reach stdout.
       trigger_stop();
     }
+    return;
+  }
+  conn->rbuf.append(chunk, static_cast<std::size_t>(n));
+  deliver_lines(conn);
+}
+
+void Server::deliver_lines(const std::shared_ptr<Connection>& conn) {
+  std::size_t start = 0;
+  bool oversize = false;
+  for (;;) {
+    const std::size_t nl = conn->rbuf.find('\n', start);
+    if (nl == std::string::npos) break;
+    if (nl - start > config_.max_line_bytes) {
+      oversize = true;
+      break;
+    }
+    submit_line(conn, conn->rbuf.substr(start, nl - start));
+    start = nl + 1;
+  }
+  conn->rbuf.erase(0, start);
+  // Both a complete line over the limit and a partial line that can no
+  // longer fit under it are protocol violations; the connection drops
+  // (after its structured error and any owed responses are flushed).
+  if (oversize || conn->rbuf.size() > config_.max_line_bytes) {
+    append_response(
+        conn, error_response("", SvcErrorCode::kBadRequest,
+                             "request line exceeds " +
+                                 std::to_string(config_.max_line_bytes) +
+                                 " bytes"));
+    conn->rbuf.clear();
+    conn->read_shut = true;
+    if (conn->is_socket)
+      conn->close_when_idle = true;
+    else
+      trigger_stop();  // a stdio protocol violation ends the process
   }
 }
 
-void Server::run() {
-  // Wait for a stop trigger (wake pipe readable).
-  for (;;) {
-    pollfd p{wake_r_, POLLIN, 0};
-    const int rc = ::poll(&p, 1, -1);
-    if (rc < 0 && errno == EINTR) continue;
-    if (rc > 0 && (p.revents & POLLIN) != 0) break;
-    if (rc < 0) break;
-  }
-  obs::ScopedTimer timer("svc.server.shutdown");
+void Server::submit_line(const std::shared_ptr<Connection>& conn,
+                         std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.empty()) return;  // blank keepalive lines are legal
+  ++conn->outstanding;
+  // The callback holds the connection alive until the response lands,
+  // even if the loop's registry let go first.
+  service_.submit(line, [this, conn](std::string response) {
+    enqueue_response(conn, std::move(response));
+  });
+}
 
-  // 1. Stop accepting: the accept loop sees the wake pipe readable (it
-  //    is never drained, so it latches for every poller) and returns.
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-
-  // 2. Stop the readers and join them BEFORE waiting on the service:
-  //    once every reader has returned, no further submission can race
-  //    past the drain wait. Readers normally exit via their own wake
-  //    poll; shutdown_read covers one blocked in read() that passed the
-  //    poll before the wake byte arrived. Connections stay open — only
-  //    the read side is shut, responses still flow.
-  std::vector<std::shared_ptr<Connection>> conns;
-  std::vector<std::thread> threads;
+void Server::enqueue_response(std::shared_ptr<Connection> conn,
+                              std::string line) {
+  bool was_empty;
   {
-    std::lock_guard lock(conns_mu_);
-    conns.swap(conns_);
-    threads.swap(conn_threads_);
+    std::lock_guard lock(done_mu_);
+    was_empty = done_.empty();
+    done_.emplace_back(std::move(conn), std::move(line));
   }
-  for (auto& c : conns) c->shutdown_read();
-  for (auto& t : threads) t.join();
+  // One byte per batch is enough: the loop drains the pipe and swaps the
+  // whole queue. Coalescing keeps the pipe from ever filling.
+  if (was_empty) {
+    const char byte = 'r';
+    [[maybe_unused]] ssize_t n = ::write(notify_w_, &byte, 1);
+  }
+}
 
-  // 3. No new requests can arrive; refuse stragglers (library users
-  //    submitting directly) and wait until every admitted request has
-  //    written its response through the still-open connections.
-  service_.begin_drain();
-  service_.wait_drained();
+void Server::process_completions() {
+  std::vector<std::pair<std::shared_ptr<Connection>, std::string>> batch;
+  {
+    std::lock_guard lock(done_mu_);
+    batch.swap(done_);
+  }
+  for (auto& [conn, line] : batch) {
+    if (conn->outstanding > 0) --conn->outstanding;
+    append_response(conn, line);
+  }
+}
 
-  // 4. Now, and only now, tear the connections down.
-  for (auto& c : conns) c->close_fds();
-  ran_ = true;
+void Server::append_response(const std::shared_ptr<Connection>& conn,
+                             const std::string& line) {
+  if (conn->dead) {
+    responses_dropped_.fetch_add(1, std::memory_order_relaxed);
+    obs_count("svc.server.responses_dropped");
+    return;
+  }
+  conn->wbuf += line;
+  conn->wbuf += '\n';
+  flush_writes(conn);
+  if (!conn->dead && conn->pending() > config_.max_write_buffer_bytes)
+    drop_slow_client(conn);
+}
+
+void Server::flush_writes(const std::shared_ptr<Connection>& conn) {
+  while (conn->pending() > 0) {
+    const ssize_t n =
+        conn->is_socket
+            ? ::send(conn->write_fd, conn->wbuf.data() + conn->woff,
+                     conn->pending(), MSG_NOSIGNAL)
+            : ::write(conn->write_fd, conn->wbuf.data() + conn->woff,
+                      conn->pending());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      write_failures_.fetch_add(1, std::memory_order_relaxed);
+      obs_count("svc.server.write_failed");
+      close_connection(*conn);
+      return;
+    }
+    conn->woff += static_cast<std::size_t>(n);
+  }
+  if (conn->pending() == 0) {
+    conn->wbuf.clear();
+    conn->woff = 0;
+  } else if (conn->woff >= 65536) {
+    conn->wbuf.erase(0, conn->woff);
+    conn->woff = 0;
+  }
+}
+
+void Server::drop_slow_client(const std::shared_ptr<Connection>& conn) {
+  slow_clients_dropped_.fetch_add(1, std::memory_order_relaxed);
+  obs_count("svc.server.slow_client_dropped");
+  close_connection(*conn);
+}
+
+void Server::close_connection(Connection& conn) {
+  if (conn.dead) return;
+  conn.dead = true;
+  conn.wbuf.clear();
+  conn.woff = 0;
+  if (conn.is_socket) ::close(conn.read_fd);  // read_fd == write_fd
+  // stdio: leave fds 0/1 to the process.
 }
 
 }  // namespace rat::svc

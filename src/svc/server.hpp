@@ -1,35 +1,55 @@
 // Transport for the prediction service: newline-delimited JSON over
-// stdio and/or a loopback TCP listener.
+// stdio and/or a loopback TCP listener, served by one readiness-driven
+// event loop.
 //
-// The server owns threads and file descriptors only — every request
-// line is handed to the Service, and the Service's response callback
-// writes back to the originating connection (whole lines, under a
-// per-connection mutex, so pipelined responses never interleave).
+// A single loop thread owns every file descriptor. It accepts, reads and
+// writes exclusively over non-blocking fds (poll(2) readiness), keeping
+// per-connection buffers for partial request lines and partially written
+// responses. Request lines are handed to the Service; evaluations run on
+// the shared ThreadPool, and completed responses are handed back to the
+// loop through a notify pipe — worker threads never touch sockets, so a
+// response is never lost to a racing connection teardown and a blocked
+// send can never stall a worker.
+//
+// Slow clients: each connection's outbound queue is bounded
+// (max_write_buffer_bytes of unsent bytes). A client that stops reading
+// while responses keep arriving exceeds the bound and is disconnected —
+// counted as svc.server.slow_client_dropped — instead of ever blocking
+// the loop, other connections, or the graceful drain. This replaces the
+// old thread-per-connection design whose blocking send() under a
+// per-connection mutex let one stalled reader wedge every response (and
+// the drain) destined for that connection.
 //
 // Lifecycle:
 //
 //   start()  bind 127.0.0.1:<port> (port 0 = ephemeral; port() tells
-//            you what was bound), spawn the accept thread and, in stdio
-//            mode, the stdin reader;
-//   run()    block until stop is triggered, then drain gracefully:
-//            1. readers stop pulling new requests (wake pipe),
+//            you what was bound), register the stdio connection when
+//            configured, and spawn the event loop;
+//   run()    join the loop. The loop exits only after a stop trigger,
+//            then drains gracefully:
+//            1. stop accepting and stop reading (connections stay open),
 //            2. service.begin_drain() — late arrivals get
 //               E_SHUTTING_DOWN,
-//            3. service.wait_drained() — every admitted request's
-//               response is written,
-//            4. sockets close, threads join.
+//            3. every admitted request's response is flushed through the
+//               still-open connections; clients that refuse to read get
+//               drain_flush_timeout_ms before being dropped as slow,
+//            4. sockets close, the loop thread exits.
 //
 // Stop triggers: trigger_stop() from any thread, a shutdown op (the
-// server installs itself as the Service's shutdown handler), or a
-// signal handler writing one byte to wake_fd() — write(2) is
-// async-signal-safe, which is the entire reason the wake pipe exists.
-// rat_serve wires SIGINT/SIGTERM to exactly that.
+// server installs itself as the Service's shutdown handler), stdin EOF
+// in stdio mode, or a signal handler writing one byte to wake_fd() —
+// write(2) is async-signal-safe, which is the entire reason the wake
+// pipe exists. rat_serve wires SIGINT/SIGTERM to exactly that.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "svc/service.hpp"
@@ -42,20 +62,43 @@ struct ServerConfig {
   bool stdio = false;     ///< also serve stdin -> stdout
   std::size_t max_line_bytes = 4u << 20;  ///< oversize lines are rejected
                                           ///< and the connection closed
+  int backlog = 64;       ///< listen(2) backlog (--backlog)
+  /// Bounded per-connection outbound queue: when more than this many
+  /// unsent response bytes pile up, the client has stopped reading and
+  /// is disconnected (svc.server.slow_client_dropped) instead of
+  /// blocking the event loop behind a full socket buffer.
+  std::size_t max_write_buffer_bytes = 4u << 20;
+  /// SO_SNDBUF for accepted sockets (0 = OS default). Small values bound
+  /// how much the kernel buffers on the server side, which makes the
+  /// slow-client policy bite deterministically.
+  int so_sndbuf = 0;
+  /// Flush budget during drain: pending responses may keep trickling to
+  /// clients this long; whoever still has unread bytes afterwards is
+  /// dropped as a slow client so shutdown always terminates.
+  int drain_flush_timeout_ms = 5000;
 };
 
 class Server {
  public:
+  /// Transport-level counters (the svc.server.* metrics, readable
+  /// without the obs registry).
+  struct Stats {
+    std::uint64_t connections = 0;          ///< sockets accepted
+    std::uint64_t slow_clients_dropped = 0; ///< write queue bound exceeded
+    std::uint64_t responses_dropped = 0;    ///< response to a gone client
+    std::uint64_t write_failures = 0;       ///< hard send/write errors
+  };
+
   Server(Service& service, ServerConfig config);
 
-  /// Joins all threads; trigger_stop() + run() must have completed (the
+  /// Joins the loop; trigger_stop() + run() must have completed (the
   /// destructor stops and joins as a backstop).
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind/listen and spawn reader threads. Throws std::system_error when
+  /// Bind/listen and spawn the event loop. Throws std::system_error when
   /// the socket cannot be bound.
   void start();
 
@@ -69,29 +112,55 @@ class Server {
   /// Request stop from normal (non-signal) context.
   void trigger_stop();
 
-  /// Block until stopped, then drain the service and tear down
-  /// connections (see file comment). Returns once fully drained.
+  /// Block until stopped and fully drained (see file comment).
   void run();
+
+  Stats stats() const;
 
  private:
   struct Connection;
 
-  void accept_loop();
-  void reader_loop(std::shared_ptr<Connection> conn);
-  void add_connection(std::shared_ptr<Connection> conn, std::thread thread);
+  void event_loop();
+  void enter_drain();
+  void do_accept();
+  void handle_readable(const std::shared_ptr<Connection>& conn);
+  void deliver_lines(const std::shared_ptr<Connection>& conn);
+  void submit_line(const std::shared_ptr<Connection>& conn, std::string line);
+  /// Any-thread handoff of a finished response line into the loop.
+  void enqueue_response(std::shared_ptr<Connection> conn, std::string line);
+  void process_completions();
+  void append_response(const std::shared_ptr<Connection>& conn,
+                       const std::string& line);
+  void flush_writes(const std::shared_ptr<Connection>& conn);
+  void drop_slow_client(const std::shared_ptr<Connection>& conn);
+  void close_connection(Connection& conn);
 
   Service& service_;
   ServerConfig config_;
 
   int listen_fd_ = -1;
-  int wake_r_ = -1;
+  int wake_r_ = -1;    ///< stop latch: stays readable once stop was asked
   int wake_w_ = -1;
+  int notify_r_ = -1;  ///< completion handoff: workers ping the loop
+  int notify_w_ = -1;
   int port_ = -1;
 
-  std::thread accept_thread_;
-  std::mutex conns_mu_;
+  std::thread loop_thread_;
+
+  // Loop-thread-only state (start() seeds conns_ before the loop spawns).
   std::vector<std::shared_ptr<Connection>> conns_;
-  std::vector<std::thread> conn_threads_;
+  bool draining_ = false;
+  std::uint64_t flush_deadline_ns_ = 0;
+
+  // Completed responses, handed from any thread to the loop.
+  std::mutex done_mu_;
+  std::vector<std::pair<std::shared_ptr<Connection>, std::string>> done_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> slow_clients_dropped_{0};
+  std::atomic<std::uint64_t> responses_dropped_{0};
+  std::atomic<std::uint64_t> write_failures_{0};
+
   bool started_ = false;
   bool ran_ = false;
 };

@@ -124,10 +124,15 @@ void Service::submit(const std::string& line,
 
   const double deadline_ms =
       req.deadline_ms > 0.0 ? req.deadline_ms : config_.default_deadline_ms;
-  const std::uint64_t deadline_ns =
-      deadline_ms > 0.0
-          ? obs::now_ns() + static_cast<std::uint64_t>(deadline_ms * 1e6)
-          : 0;
+  std::uint64_t deadline_ns = 0;
+  if (deadline_ms > 0.0) {
+    // Clamp before the float->uint64 cast: a huge (or, from a config,
+    // non-finite) deadline would otherwise be UB. ~292 years is plenty.
+    constexpr double kMaxDelayNs = 9.2e18;  // < 2^63
+    double delay_ns = deadline_ms * 1e6;
+    if (!(delay_ns < kMaxDelayNs)) delay_ns = kMaxDelayNs;  // also inf/NaN
+    deadline_ns = obs::now_ns() + static_cast<std::uint64_t>(delay_ns);
+  }
 
   util::ThreadPool::shared().submit(
       [this, req = std::move(req), deadline_ns,

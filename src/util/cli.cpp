@@ -49,9 +49,10 @@ double Cli::get_double(const std::string& key, double fallback) const {
 long long Cli::get_int(const std::string& key, long long fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
+  errno = 0;
   char* end = nullptr;
   const long long x = std::strtoll(v->c_str(), &end, 10);
-  if (end == v->c_str() || *end != '\0')
+  if (end == v->c_str() || *end != '\0' || errno == ERANGE)
     throw std::invalid_argument("Cli: --" + key + " is not an integer: " + *v);
   return x;
 }

@@ -71,6 +71,13 @@ TEST(SvcProtocol, StrictRejections) {
       "{\"op\":\"evaluate\",\"worksheet\":\"w\",\"deadline_ms\":0}",
       "positive");
   expect_rejected(
+      "{\"op\":\"evaluate\",\"worksheet\":\"w\",\"deadline_ms\":-5}",
+      "positive");
+  // Non-finite literals die in the JSON layer before the deadline check.
+  expect_rejected(
+      "{\"op\":\"evaluate\",\"worksheet\":\"w\",\"deadline_ms\":1e999}",
+      "number");
+  expect_rejected(
       "{\"op\":\"evaluate\",\"worksheet\":\"w\",\"no_cache\":1}",
       "boolean");
 }

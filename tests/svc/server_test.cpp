@@ -14,7 +14,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <optional>
 #include <string>
 #include <thread>
@@ -80,6 +83,54 @@ class Client {
 std::string evaluate_line(const std::string& id, const std::string& sheet) {
   return "{\"id\":" + io::json_str(id) +
          ",\"op\":\"evaluate\",\"worksheet\":" + io::json_str(sheet) + "}";
+}
+
+/// Raw connected socket; rcvbuf (set before connect so it sizes the
+/// receive window) shrinks how much the kernel buffers for a client
+/// that never reads, making slow-client tests deterministic.
+int connect_raw(int port, int rcvbuf = 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (rcvbuf > 0)
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+  return fd;
+}
+
+/// Best-effort pipelined send; stops quietly when the server hangs up
+/// mid-stream (expected once it drops us as a slow client).
+void send_best_effort(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+int thread_count() {
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line))
+    if (line.rfind("Threads:", 0) == 0)
+      return std::atoi(line.c_str() + 8);
+  return -1;
+}
+
+bool wait_until(const std::function<bool()>& cond, int timeout_ms = 10000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
 }
 
 TEST(SvcServer, EvaluateOverLoopbackMatchesCacheSemantics) {
@@ -205,6 +256,137 @@ TEST(SvcServer, ShutdownOpDrainsTheWholeServer) {
   EXPECT_NE(ack->find("\"draining\":true"), std::string::npos);
   runner.join();  // the shutdown op triggered the server's stop
   EXPECT_FALSE(client.read_line().has_value());
+}
+
+TEST(SvcServer, StalledClientIsDroppedWithoutBlockingOthers) {
+  // The bug this PR exists for: under the old thread-per-connection
+  // server, a client that pipelined requests but never read its socket
+  // made the blocking send() wedge under the connection's write mutex —
+  // stalling every response to that client and the graceful drain. Now
+  // the bounded write queue drops the stalled client instead, and other
+  // connections never notice.
+  Service service;
+  Server server(service,
+                {.port = 0, .max_write_buffer_bytes = 8192, .so_sndbuf = 4096});
+  server.start();
+
+  // Stalled client: tiny receive window, 400 pipelined requests, reads
+  // nothing. Responses fill the kernel buffers, then the server-side
+  // write queue, then the bound trips.
+  const int stalled = connect_raw(server.port(), /*rcvbuf=*/4096);
+  const std::string sheet = core::pdf1d_inputs().serialize();
+  std::string burst;
+  for (int i = 0; i < 400; ++i) {
+    burst += evaluate_line("stall" + std::to_string(i), sheet);
+    burst += '\n';
+  }
+  send_best_effort(stalled, burst);
+
+  // Meanwhile a well-behaved client's round-trips complete normally.
+  {
+    Client fast(server.port());
+    for (int i = 0; i < 10; ++i) {
+      fast.send_line(evaluate_line("fast" + std::to_string(i), sheet));
+      const auto line = fast.read_line();
+      ASSERT_TRUE(line.has_value()) << "blocked behind the stalled client";
+      EXPECT_NE(line->find("\"id\":\"fast" + std::to_string(i) + "\""),
+                std::string::npos);
+    }
+  }
+
+  EXPECT_TRUE(wait_until(
+      [&] { return server.stats().slow_clients_dropped >= 1; }))
+      << "bounded write queue never tripped";
+  ::close(stalled);
+
+  // And shutdown still terminates promptly — nothing is wedged.
+  server.trigger_stop();
+  server.run();
+  EXPECT_GE(server.stats().slow_clients_dropped, 1u);
+}
+
+TEST(SvcServer, DrainDropsClientsThatNeverReadAfterFlushTimeout) {
+  // A stalled client whose queue stays under the byte bound must not be
+  // able to hold the drain hostage either: after drain_flush_timeout_ms
+  // of refusing to read, it is dropped and shutdown completes.
+  Service service;
+  Server server(service,
+                {.port = 0, .so_sndbuf = 4096, .drain_flush_timeout_ms = 200});
+  server.start();
+
+  const int stalled = connect_raw(server.port(), /*rcvbuf=*/4096);
+  const std::string sheet = core::pdf1d_inputs().serialize();
+  std::string burst;
+  for (int i = 0; i < 50; ++i) {
+    burst += evaluate_line("q" + std::to_string(i), sheet);
+    burst += '\n';
+  }
+  send_best_effort(stalled, burst);
+  // Let responses start piling into the kernel buffers and write queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.trigger_stop();
+  server.run();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5)) << "drain hung on the stall";
+  EXPECT_GE(server.stats().slow_clients_dropped, 1u);
+  ::close(stalled);
+}
+
+TEST(SvcServer, HundredsOfIdleConnectionsHoldWithConstantThreads) {
+  // The event loop's whole point: connection count must not move the
+  // thread count (the old design spawned one reader thread each).
+  Service service;
+  Server server(service, {.port = 0});
+  server.start();
+
+  // Warm everything lazy (shared pool, loop) before counting threads.
+  const std::string sheet = core::pdf1d_inputs().serialize();
+  {
+    Client warm(server.port());
+    warm.send_line(evaluate_line("warm", sheet));
+    ASSERT_TRUE(warm.read_line().has_value());
+  }
+  const int before = thread_count();
+  ASSERT_GT(before, 0);
+
+  constexpr int kIdle = 300;
+  std::vector<int> idle;
+  idle.reserve(kIdle);
+  for (int i = 0; i < kIdle; ++i) idle.push_back(connect_raw(server.port()));
+  // connections counts accepts: warm client + all idles.
+  ASSERT_TRUE(wait_until(
+      [&] { return server.stats().connections >= kIdle + 1; }));
+
+  EXPECT_EQ(thread_count(), before)
+      << "server thread count scaled with connections";
+
+  // The loop still serves real traffic through the idle crowd.
+  Client probe(server.port());
+  probe.send_line(evaluate_line("probe", sheet));
+  const auto line = probe.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_NE(line->find("\"status\":\"ok\""), std::string::npos);
+
+  for (const int fd : idle) ::close(fd);
+  server.trigger_stop();
+  server.run();
+}
+
+TEST(SvcServer, ConfigurableBacklogStillAcceptsConnections) {
+  Service service;
+  Server server(service, {.port = 0, .backlog = 1});
+  server.start();
+  for (int i = 0; i < 8; ++i) {
+    Client client(server.port());
+    client.send_line("{\"id\":\"p\",\"op\":\"ping\"}");
+    const auto line = client.read_line();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_NE(line->find("\"status\":\"ok\""), std::string::npos);
+  }
+  server.trigger_stop();
+  server.run();
 }
 
 }  // namespace

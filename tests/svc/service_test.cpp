@@ -237,6 +237,22 @@ TEST(SvcService, ExpiredDeadlineIsReportedNotEvaluated) {
   EXPECT_EQ(service.stats().cache.misses, 0u);  // never evaluated
 }
 
+TEST(SvcService, HugeDeadlineIsClampedNotUndefined) {
+  // Regression: deadline_ms * 1e6 used to be cast to uint64_t unclamped,
+  // which is UB for huge finite values like 1e308 (check.sh runs this
+  // suite under UBSan to keep it honest). Clamped, it just means "no
+  // practical deadline" and the evaluation succeeds.
+  Service service;
+  Collector out;
+  service.submit(evaluate_line("huge", core::pdf1d_inputs().serialize(),
+                               ",\"deadline_ms\":1e308"),
+                 out.sink());
+  const auto lines = out.wait_for(1);
+  EXPECT_NE(lines[0].find("\"status\":\"ok\""), std::string::npos) << lines[0];
+  service.drain();
+  EXPECT_EQ(service.stats().deadline_expired, 0u);
+}
+
 TEST(SvcService, MalformedWorksheetYieldsCoreDiagnostic) {
   Service service;
   Collector out;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 namespace rat::util {
@@ -61,6 +62,20 @@ TEST(Cli, EmptyArgv) {
   const Cli cli(0, nullptr);
   EXPECT_TRUE(cli.positional().empty());
   EXPECT_TRUE(cli.keys().empty());
+}
+
+TEST(Cli, GetIntRejectsOverflowAndUnderflow) {
+  // Regression: strtoll saturates on overflow and sets ERANGE; an
+  // unchecked errno made --over parse as LLONG_MAX silently.
+  const Cli cli = make({"--over=99999999999999999999",
+                        "--under=-99999999999999999999",
+                        "--max=9223372036854775807",
+                        "--min=-9223372036854775808"});
+  EXPECT_THROW(cli.get_int("over", 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_int("under", 0), std::invalid_argument);
+  // The exact boundary values still round-trip.
+  EXPECT_EQ(cli.get_int("max", 0), std::numeric_limits<long long>::max());
+  EXPECT_EQ(cli.get_int("min", 0), std::numeric_limits<long long>::min());
 }
 
 TEST(Cli, GetSizeT) {
