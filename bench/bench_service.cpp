@@ -1,6 +1,8 @@
 // Service-path benchmarks: cold-miss vs cache-hit evaluation latency
-// through Service::submit, fingerprint/canonicalization cost, and a
-// duplicate-heavy request mix measuring sustained requests/sec.
+// through Service::submit, fingerprint/canonicalization cost, a
+// duplicate-heavy request mix measuring sustained requests/sec, and the
+// router's per-request helpers (route hash, forward encode, id splice)
+// — the entire per-request cost rat_router adds on top of a worker.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -10,6 +12,7 @@
 #include "core/parameters.hpp"
 #include "io/json.hpp"
 #include "svc/fingerprint.hpp"
+#include "svc/router.hpp"
 #include "svc/service.hpp"
 
 namespace {
@@ -101,6 +104,56 @@ void BM_RequestParse(benchmark::State& state) {
                           static_cast<std::int64_t>(line.size()));
 }
 BENCHMARK(BM_RequestParse);
+
+void BM_RouteFingerprint(benchmark::State& state) {
+  // The router's shard decision: parse the inline worksheet and take its
+  // canonical fingerprint. This is the dominant per-request router cost.
+  const svc::Request req =
+      svc::parse_request(evaluate_line("r", core::pdf1d_inputs().serialize(),
+                                       /*no_cache=*/false));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(svc::route_fingerprint(req));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteFingerprint);
+
+void BM_RouterEncodeForward(benchmark::State& state) {
+  // Re-encoding a parsed request with the correlation token as its id.
+  const svc::Request req =
+      svc::parse_request(evaluate_line("r", core::pdf1d_inputs().serialize(),
+                                       /*no_cache=*/false));
+  for (auto _ : state) {
+    std::string line = svc::encode_forward("t3f", req);
+    benchmark::DoNotOptimize(line.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouterEncodeForward);
+
+void BM_RouterRestoreResponseId(benchmark::State& state) {
+  // Splicing the client id back into a real worker response line: token
+  // scan + three appends, no JSON re-parse or re-render.
+  svc::Service service({.cache_capacity = 16});
+  std::string worker_line;
+  {
+    std::atomic<bool> done{false};
+    service.submit(
+        evaluate_line("t3f", core::pdf1d_inputs().serialize(), false),
+        [&](std::string response) {
+          worker_line = std::move(response);
+          done.store(true, std::memory_order_release);
+        });
+    while (!done.load(std::memory_order_acquire)) {
+    }
+  }
+  for (auto _ : state) {
+    std::string out = svc::restore_response_id(worker_line, "client-42");
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(worker_line.size()));
+}
+BENCHMARK(BM_RouterRestoreResponseId);
 
 }  // namespace
 

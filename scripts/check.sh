@@ -50,12 +50,12 @@ EOF
 # only the thread-pool + determinism + obs + svc + store tests (the -R
 # patterns match exactly the suites in test_parallel, test_obs, test_svc
 # and test_store — the Store pattern covers the concurrent-put and
-# background-compaction suites). rat_serve is built here too so the
-# loopback soak below runs the server under TSan.
+# background-compaction suites). rat_serve and rat_router are built here
+# too so the loopback + router soaks below run the fleet under TSan.
 echo "==== ThreadSanitizer pass (parallel + obs + service + store tests)"
 cmake -B build-tsan -G Ninja -DRAT_SANITIZE=thread
 cmake --build build-tsan --target test_parallel test_obs test_svc \
-  test_store test_batch rat_serve
+  test_store test_batch rat_serve rat_router
 ctest --test-dir build-tsan --output-on-failure \
   -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism|Obs|Svc|Store|BatchIdentity)'
 
@@ -71,11 +71,13 @@ ctest --test-dir build-tsan --output-on-failure \
 # smoke run on the checked-in fixture directory whose broken.rat must
 # yield a per-file file:line:column diagnostic and the documented exit
 # code 2 (partial failure) while the three good worksheets still
-# evaluate.
+# evaluate. rat_serve is built in this tree because test_svc's router
+# suite supervises real worker processes (RAT_SERVE_BIN), so the
+# SIGPIPE/EMFILE/router regression tests all run sanitized here too.
 echo "==== AddressSanitizer+UBSan pass (ingestion + store + batch + svc)"
 cmake -B build-asan -G Ninja -DRAT_SANITIZE=address,undefined
 cmake --build build-asan --target test_io test_store test_batch test_svc \
-  rat_batch
+  rat_batch rat_serve
 ctest --test-dir build-asan --output-on-failure \
   -R '^(LoadWorksheet|WorksheetDir|Batch|Store|Svc)'
 
@@ -293,6 +295,114 @@ print("slow-reader metrics OK:", int(c["svc.server.connections"]), "conns,",
       int(c["svc.cache.hit"]), "cache hits")
 EOF
 rm -rf "$slow_dir"
+
+# Router soak (docs/SERVICE.md): the TSan-built rat_router supervises 4
+# TSan-built rat_serve workers; 600 pipelined requests cycle the four
+# fixture worksheets (150 duplicates per fingerprint group, one of them
+# malformed), one worker is kill -9'd mid-burst, and then one more round
+# per group runs through the healed fleet. Every request must get exactly
+# one response, responses within one group must be byte-identical (cache
+# hit, cache miss, pre-kill, re-forwarded and post-respawn alike), the
+# dead slot must hold a fresh pid, SIGTERM must drain the whole fleet to
+# exit 0, and the metrics JSON must record the death and the respawn.
+echo "==== rat_router fleet soak (4 workers, kill -9 mid-run, TSan build)"
+router_dir=$(mktemp -d)
+build-tsan/src/apps/rat_router --workers=4 --port=0 \
+  --port-file="$router_dir/port" --worker-pid-file="$router_dir/pids" \
+  --queue-capacity=1024 --metrics="$router_dir/metrics.json" \
+  >"$router_dir/stdout" 2>"$router_dir/stderr" &
+router_pid=$!
+for _ in $(seq 100); do
+  [ -s "$router_dir/port" ] && break
+  sleep 0.1
+done
+[ -s "$router_dir/port" ] || { echo "rat_router: never wrote port file"
+  cat "$router_dir/stderr"; exit 1; }
+python3 - "$(cat "$router_dir/port")" "$router_dir/pids" <<'EOF'
+import json, os, signal, socket, sys, time
+port, pid_file = int(sys.argv[1]), sys.argv[2]
+sheets = [open(f"tests/fixtures/worksheets/{n}.rat").read()
+          for n in ("pdf1d", "pdf2d", "md", "broken")]
+def req(g):
+    # One id per worksheet group: every response in a group must be
+    # byte-identical no matter which worker incarnation produced it.
+    return json.dumps({"schema": "rat.svc.v1", "id": f"w{g}",
+                       "op": "evaluate", "worksheet": sheets[g]}) + "\n"
+n = 600
+groups = {}
+with socket.create_connection(("127.0.0.1", port)) as s:
+    f = s.makefile("rw")
+    for i in range(n):
+        f.write(req(i % len(sheets)))
+    f.flush()
+    for i in range(n):
+        line = f.readline()
+        assert line.endswith("\n"), "short read: a request went unanswered"
+        rid = json.loads(line)["id"]
+        groups.setdefault(rid, set()).add(line)
+        if i == 99:  # mid-burst: pull the plug on the first worker
+            victim = int(open(pid_file).read().split()[0])
+            os.kill(victim, signal.SIGKILL)
+    # The healed fleet (respawned slot included) answers one more round,
+    # still byte-identical to the pre-kill responses.
+    for g in range(len(sheets)):
+        f.write(req(g))
+        f.flush()
+        line = f.readline()
+        assert line.endswith("\n"), "short read after respawn"
+        groups.setdefault(json.loads(line)["id"], set()).add(line)
+assert sorted(groups) == ["w0", "w1", "w2", "w3"], sorted(groups)
+for rid, lines in groups.items():
+    assert len(lines) == 1, f"{rid}: responses differ in bytes"
+for rid in ("w0", "w1", "w2"):
+    assert '"status":"ok"' in next(iter(groups[rid])), rid
+bad = json.loads(next(iter(groups["w3"])))
+assert bad["error"]["code"] == "E_BAD_LIST", bad
+for _ in range(100):  # pid file is rewritten after the respawn
+    pids = [int(p) for p in open(pid_file).read().split()]
+    if len(pids) == 4 and pids[0] != victim and pids[0] > 0:
+        break
+    time.sleep(0.1)
+assert pids[0] != victim and pids[0] > 0, (pids, victim)
+print(f"router soak OK: {n + 4} requests, 4 groups byte-identical, "
+      f"slot 0 respawned {victim} -> {pids[0]}")
+EOF
+kill -TERM "$router_pid"
+rc=0
+wait "$router_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "rat_router: expected SIGTERM drain to exit 0, got $rc"
+  cat "$router_dir/stderr"
+  exit 1
+fi
+python3 - "$router_dir/metrics.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "rat.metrics.v1", doc.get("schema")
+c = doc["counters"]
+assert c["svc.router.requests"] == 604, c.get("svc.router.requests")
+assert c["svc.router.worker_death"] >= 1, c.get("svc.router.worker_death")
+assert c["svc.router.respawn"] >= 1, c.get("svc.router.respawn")
+assert c["svc.router.forwarded"] >= 1, c.get("svc.router.forwarded")
+print("router metrics OK:", int(c["svc.router.requests"]), "requests,",
+      int(c["svc.router.worker_death"]), "death(s),",
+      int(c["svc.router.respawn"]), "respawn(s)")
+EOF
+rm -rf "$router_dir"
+
+# SIGPIPE smoke: the stdout reader exits after the first response while
+# another 199 are still owed, so the server writes into a closed pipe.
+# Before the fix that was death by SIGPIPE (exit 141, which pipefail
+# surfaces here); now EPIPE is a normal close and the server drains to
+# exit 0 with the one delivered response intact.
+echo "==== rat_serve SIGPIPE smoke (stdout reader exits early)"
+sigpipe_out=$(mktemp)
+for i in $(seq 200); do
+  printf '{"schema":"rat.svc.v1","id":"s%d","op":"evaluate","file":"tests/fixtures/worksheets/pdf1d.rat"}\n' "$i"
+done | timeout 60 build/src/apps/rat_serve --stdio --no-tcp 2>/dev/null \
+  | head -n 1 >"$sigpipe_out"
+grep -q '"status":"ok"' "$sigpipe_out"
+rm -f "$sigpipe_out"
 
 # Stdio smoke: piped requests must each get one response and stdin EOF
 # must drain the server to exit 0 (a hang here is the regression).

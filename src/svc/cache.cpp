@@ -53,9 +53,9 @@ ResultCache::Value ResultCache::get(const std::string& key,
     misses_.fetch_add(1, std::memory_order_relaxed);
     obs_count("svc.cache.miss");
   }
-  if (obs::enabled())
-    obs::Registry::global().set_gauge("svc.cache.hit_ratio",
-                                      hit_ratio(stats()));
+  // The derived hit_ratio gauge is refreshed in stats() (stats op /
+  // metrics export), not here: a gauge write per lookup would tax the
+  // hit fast path for a number nobody reads mid-flight.
   return found;
 }
 
@@ -118,6 +118,10 @@ ResultCache::Stats ResultCache::stats() const {
   st.evictions = evictions_.load(std::memory_order_relaxed);
   st.size = size_.load(std::memory_order_relaxed);
   st.bytes = bytes_.load(std::memory_order_relaxed);
+  // Reading stats is the export point (stats op, metrics flush), so the
+  // derived gauge is brought current here rather than on every get().
+  if (obs::enabled())
+    obs::Registry::global().set_gauge("svc.cache.hit_ratio", hit_ratio(st));
   return st;
 }
 
@@ -129,6 +133,13 @@ void ResultCache::clear() {
   }
   size_.store(0, std::memory_order_relaxed);
   bytes_.store(0, std::memory_order_relaxed);
+  // Push the zeroed gauges too: exported metrics must not keep reporting
+  // the pre-clear footprint as phantom resident entries.
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.set_gauge("svc.cache.size", 0.0);
+    reg.set_gauge("svc.cache.bytes", 0.0);
+  }
 }
 
 }  // namespace rat::svc

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "svc/fdio.hpp"
 
 namespace rat::svc {
 
@@ -28,42 +29,8 @@ void obs_count(const char* name) {
   throw std::system_error(errno, std::generic_category(), what);
 }
 
-void set_nonblock(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
-
-void set_cloexec(int fd) {
-  const int flags = ::fcntl(fd, F_GETFD, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
-}
-
-/// pipe2(O_CLOEXEC) where available, pipe + fcntl otherwise: internal
-/// fds must never leak into an exec'd child.
 void make_pipe(int fds[2]) {
-#if defined(__linux__) && defined(O_CLOEXEC)
-  if (::pipe2(fds, O_CLOEXEC) == 0) return;
-#endif
-  if (::pipe(fds) != 0) throw_errno("svc::Server: pipe");
-  set_cloexec(fds[0]);
-  set_cloexec(fds[1]);
-}
-
-/// accept4(SOCK_NONBLOCK | SOCK_CLOEXEC) with a portable fallback. The
-/// event loop requires non-blocking fds from birth, and accepted sockets
-/// must not leak into exec'd children.
-int accept_nonblock_cloexec(int listen_fd) {
-#if defined(SOCK_NONBLOCK) && defined(SOCK_CLOEXEC)
-  return ::accept4(listen_fd, nullptr, nullptr,
-                   SOCK_NONBLOCK | SOCK_CLOEXEC);
-#else
-  const int fd = ::accept(listen_fd, nullptr, nullptr);
-  if (fd >= 0) {
-    set_nonblock(fd);
-    set_cloexec(fd);
-  }
-  return fd;
-#endif
+  if (!make_pipe_cloexec(fds)) throw_errno("svc::Server: pipe");
 }
 
 }  // namespace
@@ -121,6 +88,12 @@ void Server::trigger_stop() {
 }
 
 void Server::start() {
+  // Server-owned, not app-owned: a --stdio server whose stdout reader
+  // exited must see EPIPE (handled as a normal close + drain below), not
+  // die of SIGPIPE mid-response. MSG_NOSIGNAL already covers sockets;
+  // this covers plain write(2) on pipes — including a router's worker
+  // pipes, whichever transport spun up first.
+  ignore_sigpipe();
   if (config_.tcp) {
 #if defined(SOCK_NONBLOCK) && defined(SOCK_CLOEXEC)
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
@@ -152,8 +125,8 @@ void Server::start() {
   }
   if (config_.stdio) {
     auto conn = std::make_shared<Connection>();
-    conn->read_fd = STDIN_FILENO;
-    conn->write_fd = STDOUT_FILENO;
+    conn->read_fd = config_.stdio_in_fd;
+    conn->write_fd = config_.stdio_out_fd;
     conn->is_socket = false;
     set_nonblock(conn->read_fd);
     set_nonblock(conn->write_fd);
@@ -182,6 +155,7 @@ Server::Stats Server::stats() const {
       slow_clients_dropped_.load(std::memory_order_relaxed);
   st.responses_dropped = responses_dropped_.load(std::memory_order_relaxed);
   st.write_failures = write_failures_.load(std::memory_order_relaxed);
+  st.accept_failures = accept_failures_.load(std::memory_order_relaxed);
   return st;
 }
 
@@ -201,8 +175,23 @@ void Server::event_loop() {
     }
     const int notify_idx = static_cast<int>(pfds.size());
     pfds.push_back({notify_r_, POLLIN, 0});
+    // After an EMFILE/ENFILE accept failure the listen fd stays readable
+    // (the pending connection is still queued), so polling it would spin
+    // the loop hot. Leave it out of the poll set until the backoff
+    // expires; the queued connection is accepted on the retry.
+    int backoff_ms = -1;
+    if (accept_backoff_until_ns_ != 0) {
+      const std::uint64_t now = obs::now_ns();
+      if (now >= accept_backoff_until_ns_) {
+        accept_backoff_until_ns_ = 0;
+      } else {
+        backoff_ms = static_cast<int>(
+            (accept_backoff_until_ns_ - now + 999'999) / 1'000'000);
+        if (backoff_ms < 1) backoff_ms = 1;
+      }
+    }
     int listen_idx = -1;
-    if (!draining_ && listen_fd_ >= 0) {
+    if (!draining_ && listen_fd_ >= 0 && accept_backoff_until_ns_ == 0) {
       listen_idx = static_cast<int>(pfds.size());
       pfds.push_back({listen_fd_, POLLIN, 0});
     }
@@ -233,9 +222,10 @@ void Server::event_loop() {
 
     // During drain the service's in-flight count can hit zero without
     // any fd becoming ready (workers only ping the notify pipe when a
-    // response lands), so poll with a short timeout to re-check.
+    // response lands), so poll with a short timeout to re-check. An
+    // active accept backoff also bounds the wait so the retry happens.
     const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
-                          draining_ ? 20 : -1);
+                          draining_ ? 20 : backoff_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
@@ -334,6 +324,20 @@ void Server::do_accept() {
     const int fd = accept_nonblock_cloexec(listen_fd_);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Fd (or buffer) exhaustion: the connection stays queued and the
+        // listen fd stays readable, so back off instead of spinning.
+        accept_failures_.fetch_add(1, std::memory_order_relaxed);
+        obs_count("svc.server.accept_failed");
+        accept_backoff_until_ns_ =
+            obs::now_ns() +
+            static_cast<std::uint64_t>(
+                config_.accept_backoff_ms > 0 ? config_.accept_backoff_ms
+                                              : 1) *
+                1'000'000ull;
+        return;
+      }
       return;  // EAGAIN: everything pending was accepted
     }
     if (config_.so_sndbuf > 0)
@@ -479,9 +483,19 @@ void Server::flush_writes(const std::shared_ptr<Connection>& conn) {
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      write_failures_.fetch_add(1, std::memory_order_relaxed);
-      obs_count("svc.server.write_failed");
+      // EPIPE/ECONNRESET mean the reader is gone — a normal close (its
+      // remaining responses drop), not a transport failure. With SIGPIPE
+      // ignored (start()) a vanished stdio reader arrives here as EPIPE
+      // instead of killing the process.
+      if (errno != EPIPE && errno != ECONNRESET) {
+        write_failures_.fetch_add(1, std::memory_order_relaxed);
+        obs_count("svc.server.write_failed");
+      }
+      const bool stdio = !conn->is_socket;
       close_connection(*conn);
+      // stdout unusable: no response can ever be delivered again, so a
+      // --stdio server drains and exits instead of reading forever.
+      if (stdio) trigger_stop();
       return;
     }
     conn->woff += static_cast<std::size_t>(n);

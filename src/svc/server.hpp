@@ -76,6 +76,17 @@ struct ServerConfig {
   /// clients this long; whoever still has unread bytes afterwards is
   /// dropped as a slow client so shutdown always terminates.
   int drain_flush_timeout_ms = 5000;
+  /// Backoff after accept(2) fails with EMFILE/ENFILE (fd exhaustion):
+  /// the listen fd stays readable while the pending connection waits, so
+  /// without a pause the loop would poll-spin at 100% CPU. The listen fd
+  /// is simply not polled for this long, then accept retries — the
+  /// queued connection is still there if fds freed up.
+  int accept_backoff_ms = 50;
+  /// The fds served in stdio mode (defaults: the process's stdin and
+  /// stdout). Tests point these at pipes to exercise stdio lifecycle —
+  /// reader-gone EPIPE, EOF drain — without touching the real fds 0/1.
+  int stdio_in_fd = 0;
+  int stdio_out_fd = 1;
 };
 
 class Server {
@@ -87,6 +98,7 @@ class Server {
     std::uint64_t slow_clients_dropped = 0; ///< write queue bound exceeded
     std::uint64_t responses_dropped = 0;    ///< response to a gone client
     std::uint64_t write_failures = 0;       ///< hard send/write errors
+    std::uint64_t accept_failures = 0;      ///< accept(2) EMFILE/ENFILE
   };
 
   Server(Service& service, ServerConfig config);
@@ -151,6 +163,7 @@ class Server {
   std::vector<std::shared_ptr<Connection>> conns_;
   bool draining_ = false;
   std::uint64_t flush_deadline_ns_ = 0;
+  std::uint64_t accept_backoff_until_ns_ = 0;  ///< EMFILE backoff window
 
   // Completed responses, handed from any thread to the loop.
   std::mutex done_mu_;
@@ -160,6 +173,7 @@ class Server {
   std::atomic<std::uint64_t> slow_clients_dropped_{0};
   std::atomic<std::uint64_t> responses_dropped_{0};
   std::atomic<std::uint64_t> write_failures_{0};
+  std::atomic<std::uint64_t> accept_failures_{0};
 
   bool started_ = false;
   bool ran_ = false;

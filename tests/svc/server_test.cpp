@@ -4,7 +4,9 @@
 #include "svc/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -16,6 +18,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <optional>
@@ -372,6 +375,155 @@ TEST(SvcServer, HundredsOfIdleConnectionsHoldWithConstantThreads) {
   for (const int fd : idle) ::close(fd);
   server.trigger_stop();
   server.run();
+}
+
+TEST(SvcServer, StdioReaderGoneDrainsCleanlyInsteadOfSigpipe) {
+  // Regression: a --stdio server whose stdout reader exited used to die
+  // of SIGPIPE from the plain write(2) in flush_writes — rat_serve never
+  // ignored the signal. Now Server::start() installs the transport-owned
+  // SIG_IGN, write(2) returns EPIPE, and the server treats it as a
+  // normal close + drain. The mere fact this test survives the write is
+  // the SIGPIPE assertion: the default disposition would kill the whole
+  // gtest binary.
+  int to_server[2];   // test -> server stdin
+  int from_server[2]; // server stdout -> test
+  ASSERT_EQ(::pipe(to_server), 0);
+  ASSERT_EQ(::pipe(from_server), 0);
+
+  Service service;
+  Server server(service, {.tcp = false,
+                          .stdio = true,
+                          .stdio_in_fd = to_server[0],
+                          .stdio_out_fd = from_server[1]});
+  server.start();
+
+  // Pipeline a burst sized so the requests fit in the stdin pipe's
+  // buffer in one shot (~55 KiB < 64 KiB, so this write cannot block)
+  // while the responses decisively overflow the stdout pipe's capacity
+  // (~240 KiB >> 64 KiB): after the reader vanishes below, the server is
+  // guaranteed to still have writes left to attempt — and those writes
+  // are what must come back as EPIPE, not SIGPIPE.
+  const std::string sheet = core::pdf1d_inputs().serialize();
+  std::string burst;
+  for (int i = 0; i < 150; ++i) {
+    burst += evaluate_line("s" + std::to_string(i), sheet);
+    burst += '\n';
+  }
+  for (std::size_t off = 0; off < burst.size();) {
+    const ssize_t n =
+        ::write(to_server[1], burst.data() + off, burst.size() - off);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+  char c;
+  while (::read(from_server[0], &c, 1) == 1 && c != '\n') {
+  }
+  ::close(from_server[0]);
+
+  // EPIPE on the next flush must read as "reader gone": the server
+  // closes the stdio connection and stops on its own — no signal death,
+  // no hang, and no write_failures (EPIPE is a normal close).
+  server.run();
+  EXPECT_EQ(server.stats().write_failures, 0u);
+
+  ::close(to_server[1]);
+  ::close(to_server[0]);
+  ::close(from_server[1]);
+}
+
+int open_fd_count() {
+  int n = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd"))
+    (void)entry, ++n;
+  return n;
+}
+
+TEST(SvcServer, EmfileAcceptBacksOffAndRecovers) {
+  // Regression: accept(2) failing with EMFILE left the listen fd
+  // readable (the connection stays queued), so the loop re-polled it
+  // instantly — a 100% CPU spin for as long as fds stayed exhausted.
+  // Now the failure counts svc.server.accept_failed and the listen fd
+  // sits out accept_backoff_ms before retrying.
+  Service service;
+  Server server(service, {.port = 0, .accept_backoff_ms = 20});
+  server.start();
+  {
+    Client warm(server.port());
+    warm.send_line("{\"id\":\"w\",\"op\":\"ping\"}");
+    ASSERT_TRUE(warm.read_line().has_value());
+  }
+
+  // Ballast fds reserved before the count: if runtime fd drift (the
+  // sanitizer opening or closing a descriptor between the count and the
+  // clamp) eats the client's slot, closing one frees a slot for the
+  // client socket while the server-side accept stays exhausted.
+  std::vector<int> ballast;
+  for (int i = 0; i < 3; ++i) {
+    const int b = ::open("/dev/null", O_RDONLY);
+    ASSERT_GE(b, 0);
+    ballast.push_back(b);
+  }
+
+  rlimit old_limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  rlimit tight = old_limit;
+  // Room for exactly one more fd: the client's socket. The server-side
+  // accept then has nothing left and fails with EMFILE.
+  tight.rlim_cur = static_cast<rlim_t>(open_fd_count() + 1);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  // Provoke: connect until accept reports exhaustion. Drift the other
+  // way can hand the first accept a free slot, so every retry burns one
+  // more (connect(2) on loopback succeeds once the connection is queued
+  // in the backlog — it never waits for the accept).
+  std::vector<int> clients;
+  auto try_connect = [&] {
+    const int s = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (s < 0) return false;  // our own table is full — close ballast
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    if (::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(s);
+      return false;
+    }
+    clients.push_back(s);
+    return true;
+  };
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    if (!try_connect() && !ballast.empty()) {
+      ::close(ballast.back());
+      ballast.pop_back();
+      try_connect();
+    }
+    if (wait_until([&] { return server.stats().accept_failures >= 1; },
+                   attempt == 3 ? 10000 : 500)) {
+      break;
+    }
+  }
+  ASSERT_FALSE(clients.empty());
+  EXPECT_GE(server.stats().accept_failures, 1u)
+      << "accept never reported fd exhaustion";
+
+  // Free the fds again: the queued connection must be accepted on a
+  // backoff retry — recovery, not a wedged listener. The newest client
+  // is the one that was still pending when accept ran dry.
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  const int fd = clients.back();
+  send_best_effort(fd, "{\"id\":\"after\",\"op\":\"ping\"}\n");
+  std::string line;
+  char c;
+  while (::read(fd, &c, 1) == 1 && c != '\n') line += c;
+  EXPECT_NE(line.find("\"id\":\"after\""), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
+  for (const int s : clients) ::close(s);
+  for (const int b : ballast) ::close(b);
+
+  server.trigger_stop();
+  server.run();
+  EXPECT_GE(server.stats().accept_failures, 1u);
 }
 
 TEST(SvcServer, ConfigurableBacklogStillAcceptsConnections) {
