@@ -24,6 +24,55 @@ for b in build/bench/bench_*; do
   esac
 done
 
+# Headline serving numbers (docs/LOADGEN.md): a pinned open-loop
+# rat_loadgen configuration against the release rat_serve, merged into
+# BENCH_RAT.json so the committed perf trajectory tracks the serving
+# stack (latency percentiles, achieved rate) alongside the kernel.
+echo "==== serving headline (pinned rat_loadgen config -> BENCH_RAT.json)"
+head_dir=$(mktemp -d)
+mkdir "$head_dir/fixtures"
+cp tests/fixtures/worksheets/pdf1d.rat tests/fixtures/worksheets/pdf2d.rat \
+  tests/fixtures/worksheets/md.rat "$head_dir/fixtures/"
+build/src/apps/rat_serve --port=0 --port-file="$head_dir/port" \
+  --queue-capacity=4096 >/dev/null 2>"$head_dir/serve.err" &
+head_pid=$!
+for _ in $(seq 100); do
+  [ -s "$head_dir/port" ] && break
+  sleep 0.1
+done
+[ -s "$head_dir/port" ] || { echo "rat_serve: never wrote port file"; exit 1; }
+build/src/apps/rat_loadgen --port-file="$head_dir/port" \
+  --fixtures="$head_dir/fixtures" --requests=2000 --connections=32 \
+  --rate=2000 --arrival=poisson --seed=42 --duplicate-ratio=0.5 \
+  --report="$head_dir/load.json"
+kill -TERM "$head_pid"
+rc=0
+wait "$head_pid" || rc=$?
+[ "$rc" -eq 0 ] || { echo "rat_serve: headline drain exited $rc"; exit 1; }
+python3 - BENCH_RAT.json "$head_dir/load.json" <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+load = json.load(open(sys.argv[2]))
+assert load["schema"] == "rat.load.v1", load.get("schema")
+step = load["steps"][0]
+assert step["ok"] == step["sent"] and step["lost"] == 0, step
+assert not step["error_codes"], step["error_codes"]
+lat = step["latency_ms"]
+m = bench["metrics"]
+m["serving.offered_rate_hz"] = float(step["offered_rate_hz"])
+m["serving.achieved_rate_hz"] = float(step["achieved_rate_hz"])
+m["serving.p50_ms"] = float(lat["p50"])
+m["serving.p99_ms"] = float(lat["p99"])
+m["serving.p999_ms"] = float(lat["p999"])
+bench["metrics"] = dict(sorted(m.items()))
+with open(sys.argv[1], "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+print(f"serving headline: {step['achieved_rate_hz']:.0f} req/s achieved, "
+      f"p50 {lat['p50']:.3f} ms, p99 {lat['p99']:.3f} ms")
+EOF
+rm -rf "$head_dir"
+
 # The perf trajectory must exist and parse: a malformed or silently
 # missing BENCH_RAT.json would break the PR-over-PR comparison.
 echo "==== BENCH_RAT.json schema validation"
@@ -50,14 +99,15 @@ EOF
 # only the thread-pool + determinism + obs + svc + store tests (the -R
 # patterns match exactly the suites in test_parallel, test_obs, test_svc
 # and test_store — the Store pattern covers the concurrent-put and
-# background-compaction suites). rat_serve and rat_router are built here
-# too so the loopback + router soaks below run the fleet under TSan.
+# background-compaction suites; Load covers test_load's runner-vs-server
+# integration). rat_serve, rat_router and rat_loadgen are built here too
+# so the loopback + router soaks and the SLO smokes below run under TSan.
 echo "==== ThreadSanitizer pass (parallel + obs + service + store tests)"
 cmake -B build-tsan -G Ninja -DRAT_SANITIZE=thread
 cmake --build build-tsan --target test_parallel test_obs test_svc \
-  test_store test_batch rat_serve rat_router
+  test_store test_batch test_load rat_serve rat_router rat_loadgen
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism|Obs|Svc|Store|BatchIdentity)'
+  -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism|Obs|Svc|Store|BatchIdentity|Load)'
 
 # ASan+UBSan pass over the worksheet ingestion path, the durable store,
 # the SIMD batch kernel and the prediction service: the io tests (strict
@@ -389,6 +439,106 @@ print("router metrics OK:", int(c["svc.router.requests"]), "requests,",
       int(c["svc.router.respawn"]), "respawn(s)")
 EOF
 rm -rf "$router_dir"
+
+# Loadgen SLO smoke (docs/LOADGEN.md): the open-loop generator drives the
+# TSan rat_serve with the three good fixture worksheets (broken.rat
+# excluded: this gate asserts *zero* unexpected E_* codes) and asserts
+# its own SLOs — exit 0 means every request was answered OK within a p99
+# bound generous enough for a sanitized build. The rat.load.v1 report is
+# then schema-validated the same way as BENCH_RAT.json.
+echo "==== rat_loadgen SLO smoke vs rat_serve (TSan build)"
+lg_dir=$(mktemp -d)
+mkdir "$lg_dir/fixtures"
+cp tests/fixtures/worksheets/pdf1d.rat tests/fixtures/worksheets/pdf2d.rat \
+  tests/fixtures/worksheets/md.rat "$lg_dir/fixtures/"
+build-tsan/src/apps/rat_serve --port=0 --port-file="$lg_dir/port" \
+  --queue-capacity=4096 >/dev/null 2>"$lg_dir/serve.err" &
+serve_pid=$!
+for _ in $(seq 100); do
+  [ -s "$lg_dir/port" ] && break
+  sleep 0.1
+done
+[ -s "$lg_dir/port" ] || { echo "rat_serve: never wrote port file"; exit 1; }
+build-tsan/src/apps/rat_loadgen --port-file="$lg_dir/port" \
+  --fixtures="$lg_dir/fixtures" --requests=300 --connections=16 \
+  --rate=200 --arrival=poisson --seed=7 --duplicate-ratio=0.5 \
+  --slo-p99-ms=5000 --slo-error-rate=0 --report="$lg_dir/load.json"
+kill -TERM "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+[ "$rc" -eq 0 ] || { echo "rat_serve: SLO smoke drain exited $rc"; exit 1; }
+python3 - "$lg_dir/load.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "rat.load.v1", doc.get("schema")
+assert doc["slo"]["checked"] and not doc["slo"]["violations"], doc["slo"]
+(step,) = doc["steps"]
+assert step["sent"] == step["ok"] == 300, step
+assert step["errors"] == step["lost"] == step["connection_drops"] == 0, step
+assert not step["error_codes"], step["error_codes"]
+lat = step["latency_ms"]
+assert lat["count"] == 300 and 0 < lat["p50"] <= lat["p99"] <= 5000, lat
+print(f"loadgen SLO smoke OK: 300/300 ok, p50 {lat['p50']:.3f} ms, "
+      f"p99 {lat['p99']:.3f} ms")
+EOF
+rm -rf "$lg_dir"
+
+# Frontier sweep smoke: one rat_loadgen --sweep against a 2-worker TSan
+# rat_router maps three arrival rates in a single rat.load.v1 report.
+# Asserts: zero unexpected E_* at every step, achieved rate grows with
+# offered rate (tolerantly — sanitized CI boxes are noisy), and the
+# router's drain-time --metrics export carries the aggregated
+# svc.fleet.* gauges covering everything the loadgen sent.
+echo "==== rat_loadgen frontier sweep vs 2-worker rat_router (TSan build)"
+sweep_dir=$(mktemp -d)
+mkdir "$sweep_dir/fixtures"
+cp tests/fixtures/worksheets/pdf1d.rat tests/fixtures/worksheets/pdf2d.rat \
+  tests/fixtures/worksheets/md.rat "$sweep_dir/fixtures/"
+build-tsan/src/apps/rat_router --workers=2 --port=0 \
+  --port-file="$sweep_dir/port" --queue-capacity=1024 \
+  --metrics="$sweep_dir/metrics.json" \
+  >/dev/null 2>"$sweep_dir/router.err" &
+router_pid=$!
+for _ in $(seq 100); do
+  [ -s "$sweep_dir/port" ] && break
+  sleep 0.1
+done
+[ -s "$sweep_dir/port" ] || { echo "rat_router: never wrote port file"
+  cat "$sweep_dir/router.err"; exit 1; }
+build-tsan/src/apps/rat_loadgen --port-file="$sweep_dir/port" \
+  --fixtures="$sweep_dir/fixtures" --requests=200 --connections=16 \
+  --sweep=50,150,450 --arrival=poisson --seed=9 --duplicate-ratio=0.5 \
+  --slo-error-rate=0 --report="$sweep_dir/load.json"
+kill -TERM "$router_pid"
+rc=0
+wait "$router_pid" || rc=$?
+[ "$rc" -eq 0 ] || { echo "rat_router: sweep drain exited $rc"
+  cat "$sweep_dir/router.err"; exit 1; }
+python3 - "$sweep_dir/load.json" "$sweep_dir/metrics.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "rat.load.v1", doc.get("schema")
+steps = doc["steps"]
+assert len(steps) == 3, len(steps)
+for step in steps:
+    assert step["sent"] == step["ok"] == 200, step
+    assert not step["error_codes"] and step["lost"] == 0, step
+achieved = [s["achieved_rate_hz"] for s in steps]
+p99s = [s["latency_ms"]["p99"] for s in steps]
+# The frontier: more offered -> more achieved. 10% slack absorbs
+# scheduler noise on loaded CI machines.
+for lo, hi in zip(achieved, achieved[1:]):
+    assert hi > lo * 0.9, (achieved, "achieved rate fell across the sweep")
+assert all(0 < p < 10000 for p in p99s), p99s
+metrics = json.load(open(sys.argv[2]))
+g = metrics["gauges"]
+assert g["svc.fleet.requests"] >= 600, g.get("svc.fleet.requests")
+assert g["svc.fleet.responses_ok"] >= 600, g.get("svc.fleet.responses_ok")
+assert g["svc.fleet.workers_alive"] == 2, g.get("svc.fleet.workers_alive")
+print("sweep OK: achieved", [round(a, 1) for a in achieved],
+      "req/s, p99", [round(p, 3) for p in p99s], "ms, fleet gauges present")
+EOF
+rm -rf "$sweep_dir"
 
 # SIGPIPE smoke: the stdout reader exits after the first response while
 # another 199 are still owed, so the server writes into a closed pipe.

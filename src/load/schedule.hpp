@@ -1,0 +1,43 @@
+// Deterministic open-loop arrival schedules for the load generator.
+//
+// An open-loop generator decides *when* every request is sent before the
+// run starts: the schedule is a precomputed, non-decreasing list of send
+// offsets (nanoseconds from run start), and the runner injects request i
+// at t0 + offsets[i] no matter how far behind the server is. Closed-loop
+// harnesses (send, wait, send) silently stretch their inter-arrival gaps
+// whenever the server stalls, which is exactly the coordinated-omission
+// bug that makes tail latencies look fine while clients are queueing;
+// a fixed schedule plus latencies measured from the *scheduled* send
+// time makes stalls show up in p99 where they belong (docs/LOADGEN.md).
+//
+// Schedules are pure functions of (kind, rate, count, seed) built on
+// util::Rng (SplitMix64), so the same flags replay byte-identical
+// traffic on any platform.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace rat::load {
+
+/// Inter-arrival process shape.
+enum class Arrival {
+  kConstant,  ///< evenly spaced: offsets[i] = i / rate
+  kPoisson,   ///< exponential gaps: memoryless bursts at the same mean rate
+};
+
+/// "constant" / "poisson" -> Arrival; nullopt for anything else.
+std::optional<Arrival> parse_arrival(std::string_view name);
+const char* arrival_name(Arrival kind);
+
+/// Send offsets in nanoseconds from run start: @p count values,
+/// non-decreasing, offsets[0] == 0, mean rate @p rate_hz (> 0). The
+/// @p seed only matters for Poisson schedules.
+std::vector<std::uint64_t> build_schedule(Arrival kind, double rate_hz,
+                                          std::size_t count,
+                                          std::uint64_t seed);
+
+}  // namespace rat::load

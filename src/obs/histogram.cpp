@@ -1,0 +1,100 @@
+#include "obs/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace rat::obs {
+
+std::size_t LogHistogram::bucket_index(std::uint64_t value) {
+  if (value < kLinearMax) return static_cast<std::size_t>(value);
+  // value >= 256 => bit_width >= 9 => e >= 8.
+  const int e = std::bit_width(value) - 1;  // value in [2^e, 2^(e+1))
+  const std::uint64_t sub = (value >> (e - kSubBucketBits)) - kSubBuckets;
+  return static_cast<std::size_t>(kLinearMax) +
+         static_cast<std::size_t>(e - (kSubBucketBits + 1)) *
+             static_cast<std::size_t>(kSubBuckets) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LogHistogram::bucket_lo(std::size_t index) {
+  if (index < kLinearMax) return index;
+  const std::size_t rel = index - static_cast<std::size_t>(kLinearMax);
+  const int e = static_cast<int>(rel / kSubBuckets) + kSubBucketBits + 1;
+  const std::uint64_t sub = rel % kSubBuckets;
+  return (kSubBuckets + sub) << (e - kSubBucketBits);
+}
+
+std::uint64_t LogHistogram::bucket_hi(std::size_t index) {
+  if (index < kLinearMax) return index;
+  const std::size_t rel = index - static_cast<std::size_t>(kLinearMax);
+  const int e = static_cast<int>(rel / kSubBuckets) + kSubBucketBits + 1;
+  return bucket_lo(index) + ((1ull << (e - kSubBucketBits)) - 1);
+}
+
+LogHistogram::LogHistogram(std::uint64_t max_value) : max_value_(max_value) {
+  if (max_value_ < kLinearMax) max_value_ = kLinearMax;
+  buckets_.assign(bucket_index(max_value_) + 1, 0);
+}
+
+void LogHistogram::record(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  if (value > max_value_) {
+    overflow_ += count;
+    return;
+  }
+  buckets_[bucket_index(value)] += count;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (max_value_ != other.max_value_)
+    throw std::invalid_argument(
+        "LogHistogram::merge: mismatched max_value ceilings");
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  overflow_ += other.overflow_;
+  sum_ += other.sum_;
+  if (other.count_ != 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+double LogHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Nearest-rank: the k-th smallest recorded value, k in [1, count].
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t c = buckets_[i];
+    if (c == 0) continue;
+    cum += c;
+    if (cum < rank) continue;
+    // rank falls inside bucket i: spread its c ranks evenly across the
+    // bucket's value range [lo, hi+1).
+    const std::uint64_t pos = rank - (cum - c);  // 1..c
+    const double lo = static_cast<double>(bucket_lo(i));
+    const double width = static_cast<double>(bucket_hi(i)) + 1.0 - lo;
+    double v = lo + (static_cast<double>(pos - 1) /
+                     static_cast<double>(c)) * width;
+    if (v < static_cast<double>(min_)) v = static_cast<double>(min_);
+    if (v > static_cast<double>(max_)) v = static_cast<double>(max_);
+    return v;
+  }
+  // The rank lives in the overflow bucket: report the exact maximum
+  // rather than a bound the histogram never tracked.
+  return static_cast<double>(max_);
+}
+
+}  // namespace rat::obs

@@ -1,0 +1,97 @@
+// HDR-style log-bucketed histogram for latency distributions.
+//
+// The serving stack needs percentiles (p50/p99/p99.9), not just the
+// count/total/min/max a TimerStat keeps: a mean hides exactly the tail
+// that SLOs are written about. LogHistogram records non-negative
+// integer values (nanoseconds, by convention) into buckets whose width
+// grows with magnitude:
+//
+//   * values below 256 land in exact unit buckets (0..255);
+//   * above that, each power-of-two octave [2^e, 2^(e+1)) is split into
+//     128 equal sub-buckets of width 2^(e-7).
+//
+// A bucket's width is therefore at most lo/128 of its lower bound, so
+// any value reconstructed from its bucket — and any percentile derived
+// from the cumulative counts — carries at most 1/128 (~0.78%) relative
+// error, at a memory cost that grows logarithmically with range (~36 KiB
+// for the default 2^42 ns ≈ 73 min ceiling) instead of linearly.
+//
+// record/merge/percentile are deterministic and exact in counts: two
+// histograms merged in any association order hold identical buckets
+// (merge is bucket-wise addition), which is what lets per-connection or
+// per-step histograms aggregate into one report without bias. Values
+// above the configured ceiling go to a single overflow bucket: they are
+// counted, min/max stay exact, and percentiles that land there report
+// the exact observed maximum rather than inventing a bucket bound.
+//
+// Not thread-safe by itself; obs::Registry wraps it behind its shard
+// mutexes (record_hist), the load generator owns its histograms on one
+// thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rat::obs {
+
+class LogHistogram {
+ public:
+  /// Sub-bucket resolution: 2^7 = 128 sub-buckets per octave, bounding
+  /// relative error by 2^-7 < 1%.
+  static constexpr int kSubBucketBits = 7;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;
+  /// Values below this are binned exactly (unit-width buckets).
+  static constexpr std::uint64_t kLinearMax = 2 * kSubBuckets;  // 256
+  /// Default ceiling: 2^42 ns ≈ 73 minutes when recording nanoseconds.
+  static constexpr std::uint64_t kDefaultMaxValue = 1ull << 42;
+
+  explicit LogHistogram(std::uint64_t max_value = kDefaultMaxValue);
+
+  /// Bucket index holding @p value (layout in the file comment).
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Inclusive value range [lo, hi] covered by bucket @p index.
+  static std::uint64_t bucket_lo(std::size_t index);
+  static std::uint64_t bucket_hi(std::size_t index);
+
+  /// Record @p count occurrences of @p value. Values above max_value()
+  /// go to the overflow bucket (still counted; min/max stay exact).
+  void record(std::uint64_t value, std::uint64_t count = 1);
+
+  /// Bucket-wise addition. Throws std::invalid_argument when the two
+  /// histograms were built with different ceilings (their bucket arrays
+  /// would not line up).
+  void merge(const LogHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t overflow_count() const { return overflow_; }
+  std::uint64_t max_value() const { return max_value_; }
+  /// Exact extremes and mean of everything recorded (0 / 0.0 when empty).
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at percentile @p p in [0, 100]: nearest-rank over the
+  /// cumulative bucket counts, linearly interpolated inside the bucket,
+  /// clamped to the exact observed [min, max]. Ranks that fall in the
+  /// overflow bucket report the exact max. Returns 0.0 when empty.
+  double percentile(double p) const;
+
+  /// Worst-case relative error of any reconstructed value (2^-7).
+  static constexpr double max_relative_error() {
+    return 1.0 / static_cast<double>(kSubBuckets);
+  }
+
+ private:
+  std::uint64_t max_value_;
+  std::vector<std::uint64_t> buckets_;  ///< bucket_index(max_value_)+1 wide
+  std::uint64_t count_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace rat::obs

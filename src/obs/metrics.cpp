@@ -91,6 +91,15 @@ void Registry::record_timer(std::string_view name,
   t.total_ns += elapsed_ns;
 }
 
+void Registry::record_hist(std::string_view name, std::uint64_t value_ns) {
+  Shard& s = shard_for(name);
+  std::lock_guard lock(s.mu);
+  auto it = s.hists.find(std::string(name));
+  if (it == s.hists.end())
+    it = s.hists.emplace(std::string(name), LogHistogram{}).first;
+  it->second.record(value_ns);
+}
+
 void Registry::record_span(std::string_view name, std::string_view detail,
                            std::uint64_t start_ns, std::uint64_t dur_ns) {
   const std::uint32_t tid = thread_index();
@@ -130,6 +139,15 @@ std::map<std::string, TimerStat> Registry::timers() const {
   return out;
 }
 
+std::map<std::string, LogHistogram> Registry::hists() const {
+  std::map<std::string, LogHistogram> out;
+  for (const Shard& s : shards_) {
+    std::lock_guard lock(s.mu);
+    out.insert(s.hists.begin(), s.hists.end());
+  }
+  return out;
+}
+
 std::vector<SpanEvent> Registry::spans() const {
   std::lock_guard lock(span_mu_);
   return spans_;
@@ -146,6 +164,7 @@ void Registry::reset() {
     s.counters.clear();
     s.gauges.clear();
     s.timers.clear();
+    s.hists.clear();
   }
   std::lock_guard lock(span_mu_);
   spans_.clear();
@@ -153,8 +172,9 @@ void Registry::reset() {
 }
 
 ScopedTimer::ScopedTimer(std::string_view name, std::string_view span_detail,
-                         bool record_span)
-    : active_(enabled()), record_span_(record_span) {
+                         bool record_span, bool record_hist)
+    : active_(enabled()), record_span_(record_span),
+      record_hist_(record_hist) {
   if (!active_) return;
   name_ = name;
   detail_ = span_detail;
@@ -166,6 +186,7 @@ ScopedTimer::~ScopedTimer() {
   const std::uint64_t dur = now_ns() - start_ns_;
   Registry& r = Registry::global();
   r.record_timer(name_, dur);
+  if (record_hist_) r.record_hist(name_, dur);
   if (record_span_) r.record_span(name_, detail_, start_ns_, dur);
 }
 
@@ -264,6 +285,23 @@ std::string metrics_json(const Registry& registry) {
   }
   os << '}';
 
+  os << ",\"hists\":{";
+  first = true;
+  for (const auto& [name, h] : registry.hists()) {
+    if (!first) os << ',';
+    first = false;
+    os << json_str(name) << ":{\"count\":" << h.count()
+       << ",\"overflow\":" << h.overflow_count()
+       << ",\"min_sec\":" << sec(h.min())
+       << ",\"max_sec\":" << sec(h.max())
+       << ",\"mean_sec\":" << num(h.mean() / kNsPerSec)
+       << ",\"p50_sec\":" << num(h.percentile(50.0) / kNsPerSec)
+       << ",\"p90_sec\":" << num(h.percentile(90.0) / kNsPerSec)
+       << ",\"p99_sec\":" << num(h.percentile(99.0) / kNsPerSec)
+       << ",\"p999_sec\":" << num(h.percentile(99.9) / kNsPerSec) << '}';
+  }
+  os << '}';
+
   os << ",\"spans\":[";
   first = true;
   for (const SpanEvent& s : registry.spans()) {
@@ -315,6 +353,23 @@ std::string summary_table(const Registry& registry) {
                     human_ns(t.mean_ns()).c_str(),
                     human_ns(static_cast<double>(t.min_ns)).c_str(),
                     human_ns(static_cast<double>(t.max_ns)).c_str());
+      os << line;
+    }
+  }
+
+  const auto hists = registry.hists();
+  if (!hists.empty()) {
+    std::snprintf(line, sizeof line, "hists:%32s %10s %12s %12s %12s %12s\n",
+                  "", "count", "p50", "p90", "p99", "max");
+    os << line;
+    for (const auto& [name, h] : hists) {
+      std::snprintf(line, sizeof line,
+                    "  %-36s %10" PRIu64 " %12s %12s %12s %12s\n",
+                    name.c_str(), h.count(),
+                    human_ns(h.percentile(50.0)).c_str(),
+                    human_ns(h.percentile(90.0)).c_str(),
+                    human_ns(h.percentile(99.0)).c_str(),
+                    human_ns(static_cast<double>(h.max())).c_str());
       os << line;
     }
   }

@@ -33,6 +33,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace rat::obs {
 
 /// Monotonic timestamp in nanoseconds (std::chrono::steady_clock).
@@ -108,6 +110,10 @@ class Registry {
   /// Keep the maximum ever observed (e.g. peak queue depth).
   void max_gauge(std::string_view name, double value);
   void record_timer(std::string_view name, std::uint64_t elapsed_ns);
+  /// Record @p value_ns into a named log-bucketed latency histogram
+  /// (obs/histogram.hpp) so the export carries percentiles, not just
+  /// the TimerStat's count/mean/min/max.
+  void record_hist(std::string_view name, std::uint64_t value_ns);
   /// Record a completed interval; the calling thread is attributed.
   void record_span(std::string_view name, std::string_view detail,
                    std::uint64_t start_ns, std::uint64_t dur_ns);
@@ -116,6 +122,7 @@ class Registry {
   std::map<std::string, std::uint64_t> counters() const;
   std::map<std::string, double> gauges() const;
   std::map<std::string, TimerStat> timers() const;
+  std::map<std::string, LogHistogram> hists() const;
   /// Spans in recording order; at most the constructed capacity.
   std::vector<SpanEvent> spans() const;
   /// Spans discarded because the buffer was full.
@@ -130,6 +137,7 @@ class Registry {
     std::unordered_map<std::string, std::uint64_t> counters;
     std::unordered_map<std::string, double> gauges;
     std::unordered_map<std::string, TimerStat> timers;
+    std::unordered_map<std::string, LogHistogram> hists;
   };
   static constexpr std::size_t kShards = 16;
 
@@ -147,11 +155,13 @@ class Registry {
 /// Times a scope into Registry::global() when observability is enabled at
 /// construction; a disabled timer costs the enabled() check and nothing
 /// else. With a non-empty @p span_detail the interval is also recorded as
-/// a span (detail typically names the item, e.g. a worksheet path).
+/// a span (detail typically names the item, e.g. a worksheet path). With
+/// @p record_hist the duration additionally feeds the same-named latency
+/// histogram, so the export carries percentiles for this operation.
 class ScopedTimer {
  public:
   explicit ScopedTimer(std::string_view name, std::string_view span_detail = {},
-                       bool record_span = false);
+                       bool record_span = false, bool record_hist = false);
   ~ScopedTimer();
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -160,6 +170,7 @@ class ScopedTimer {
  private:
   bool active_;
   bool record_span_;
+  bool record_hist_;
   std::string name_;
   std::string detail_;
   std::uint64_t start_ns_ = 0;

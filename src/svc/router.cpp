@@ -160,11 +160,14 @@ struct Router::Pending {
 };
 
 /// A ping/stats broadcast in flight: one sub-request per live worker,
-/// one aggregated client response once the last one lands.
+/// one aggregated client response once the last one lands. Internal
+/// fanouts (the drain-time stats sweep feeding --metrics) have no
+/// client connection; their aggregate goes to the obs registry instead.
 struct Router::Fanout {
-  std::shared_ptr<Conn> conn;
+  std::shared_ptr<Conn> conn;  ///< null when internal
   std::string orig_id;
   Request::Op op = Request::Op::kPing;
+  bool internal = false;
   std::size_t remaining = 0;
   // Summed worker stats (the stats op's aggregation).
   std::uint64_t requests = 0, responses_ok = 0, responses_error = 0,
@@ -773,8 +776,66 @@ void Router::start_fanout(const std::shared_ptr<Conn>& conn,
   if (fanout->remaining == 0) finish_fanout(fanout);
 }
 
+void Router::start_internal_stats_fanout() {
+  // Same wire mechanics as a client stats broadcast, but conn-less: the
+  // sub-requests ride the normal Pending map, so drain phase 1's
+  // "pending_ empty" gate naturally waits for the answers before worker
+  // stdins close (and the flush-deadline backstop cancels them the same
+  // way if a worker hangs).
+  auto fanout = std::make_shared<Fanout>();
+  fanout->op = Request::Op::kStats;
+  fanout->internal = true;
+  Request req;
+  req.op = Request::Op::kStats;
+  for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+    Worker& w = *workers_[slot];
+    if (!w.alive || w.abandoned || w.stdin_closed) continue;
+    const std::string token = next_token();
+    Pending p;
+    p.orig_id = req.id;
+    p.worker = slot;
+    p.fwd_line = encode_forward(token, req);
+    p.fanout = fanout;
+    ++fanout->remaining;
+    const std::string& fwd = pending_.emplace(token, std::move(p))
+                                 .first->second.fwd_line;
+    forward_to(slot, fwd);
+  }
+  if (fanout->remaining == 0) finish_fanout(fanout);
+}
+
 void Router::finish_fanout(const std::shared_ptr<Fanout>& fanout) {
   Fanout& f = *fanout;
+  if (f.internal) {
+    // Drain-time sweep: flush the fleet-wide sums into the registry so
+    // the --metrics file carries what the workers saw, not just the
+    // front-end's own counters. Gauges, not counters: these are
+    // terminal absolute values read once at export.
+    obs::Registry& r = obs::Registry::global();
+    r.set_gauge("svc.fleet.requests", static_cast<double>(f.requests));
+    r.set_gauge("svc.fleet.responses_ok",
+                static_cast<double>(f.responses_ok));
+    r.set_gauge("svc.fleet.responses_error",
+                static_cast<double>(f.responses_error));
+    r.set_gauge("svc.fleet.rejected_overloaded",
+                static_cast<double>(f.rejected_overloaded));
+    r.set_gauge("svc.fleet.rejected_draining",
+                static_cast<double>(f.rejected_draining));
+    r.set_gauge("svc.fleet.deadline_expired",
+                static_cast<double>(f.deadline_expired));
+    r.set_gauge("svc.fleet.cache.hits", static_cast<double>(f.hits));
+    r.set_gauge("svc.fleet.cache.misses", static_cast<double>(f.misses));
+    r.set_gauge("svc.fleet.cache.evictions",
+                static_cast<double>(f.evictions));
+    r.set_gauge("svc.fleet.cache.size", static_cast<double>(f.size));
+    r.set_gauge("svc.fleet.cache.bytes", static_cast<double>(f.bytes));
+    r.set_gauge("svc.fleet.cache.warmed", static_cast<double>(f.warmed));
+    std::size_t alive = 0;
+    for (const auto& w : workers_)
+      if (w->alive && !w->abandoned) ++alive;
+    r.set_gauge("svc.fleet.workers_alive", static_cast<double>(alive));
+    return;
+  }
   --f.conn->outstanding;
   if (f.op == Request::Op::kPing) {
     respond_client(f.conn, pong_response(f.orig_id));
@@ -1021,6 +1082,10 @@ void Router::event_loop() {
     const std::uint64_t now = obs::now_ns();
     if (!workers_stopping_) {
       // Drain phase 1: answer everything admitted, flush every client.
+      if (!final_stats_sent_) {
+        final_stats_sent_ = true;
+        if (obs::enabled()) start_internal_stats_fanout();
+      }
       if (now > flush_deadline_ns_) {
         // Budget exhausted. Whatever a worker still owes is answered
         // with a structured error (a hung worker must not hang

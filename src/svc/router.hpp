@@ -155,6 +155,9 @@ class Router {
   void deliver_lines(const std::shared_ptr<Conn>& conn);
   void route_line(const std::shared_ptr<Conn>& conn, std::string line);
   void start_fanout(const std::shared_ptr<Conn>& conn, const Request& req);
+  /// Drain-time conn-less stats broadcast whose aggregate lands in the
+  /// obs registry (svc.fleet.* gauges) for the --metrics export.
+  void start_internal_stats_fanout();
   void finish_fanout(const std::shared_ptr<Fanout>& fanout);
   void respond_client(const std::shared_ptr<Conn>& conn,
                       const std::string& line);
@@ -192,6 +195,7 @@ class Router {
   std::uint64_t token_counter_ = 0;
   bool draining_ = false;
   bool workers_stopping_ = false;  ///< drain: worker stdins closed
+  bool final_stats_sent_ = false;  ///< drain-time fleet stats sweep done
   std::uint64_t flush_deadline_ns_ = 0;
   std::uint64_t worker_exit_deadline_ns_ = 0;
   std::uint64_t accept_backoff_until_ns_ = 0;

@@ -143,7 +143,8 @@ void Service::submit(const std::string& line,
 
 void Service::run_evaluation(Request req, std::uint64_t deadline_ns,
                              std::function<void(std::string)> on_response) {
-  obs::ScopedTimer timer("svc.request");
+  obs::ScopedTimer timer("svc.request", {}, /*record_span=*/false,
+                         /*record_hist=*/true);
   try {
     if (deadline_ns != 0 && obs::now_ns() > deadline_ns) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);

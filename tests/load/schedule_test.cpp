@@ -1,0 +1,97 @@
+// Arrival schedules are pure functions of (kind, rate, count, seed) and
+// request mixes are pure functions of (fixtures, ratio, seed) — the
+// whole point of a reproducible load run.
+#include "load/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/parameters.hpp"
+#include "load/mix.hpp"
+#include "util/rng.hpp"
+
+namespace rat::load {
+namespace {
+
+TEST(LoadSchedule, ConstantSpacing) {
+  const auto offsets = build_schedule(Arrival::kConstant, 1000.0, 5, 1);
+  ASSERT_EQ(offsets.size(), 5u);
+  for (std::size_t i = 0; i < offsets.size(); ++i)
+    EXPECT_EQ(offsets[i], i * 1'000'000ull);  // 1 ms apart at 1 kHz
+}
+
+TEST(LoadSchedule, PoissonSameSeedSameTimestamps) {
+  const auto a = build_schedule(Arrival::kPoisson, 500.0, 2000, 42);
+  const auto b = build_schedule(Arrival::kPoisson, 500.0, 2000, 42);
+  EXPECT_EQ(a, b);
+  const auto c = build_schedule(Arrival::kPoisson, 500.0, 2000, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(LoadSchedule, PoissonShapeAndMeanRate) {
+  const double rate = 2000.0;
+  const std::size_t n = 20000;
+  const auto offsets = build_schedule(Arrival::kPoisson, rate, n, 7);
+  ASSERT_EQ(offsets.size(), n);
+  EXPECT_EQ(offsets.front(), 0u);
+  for (std::size_t i = 1; i < n; ++i)
+    EXPECT_GE(offsets[i], offsets[i - 1]);
+  // Mean inter-arrival over 20k draws should sit within a few percent
+  // of 1/rate.
+  const double mean_gap_sec =
+      static_cast<double>(offsets.back()) / 1e9 / static_cast<double>(n - 1);
+  EXPECT_NEAR(mean_gap_sec, 1.0 / rate, 0.05 / rate);
+}
+
+TEST(LoadSchedule, RejectsBadRate) {
+  EXPECT_THROW(build_schedule(Arrival::kConstant, 0.0, 10, 1),
+               std::invalid_argument);
+}
+
+TEST(LoadSchedule, ParseArrivalNames) {
+  EXPECT_EQ(parse_arrival("constant"), Arrival::kConstant);
+  EXPECT_EQ(parse_arrival("poisson"), Arrival::kPoisson);
+  EXPECT_FALSE(parse_arrival("uniform").has_value());
+  EXPECT_STREQ(arrival_name(Arrival::kPoisson), "poisson");
+}
+
+TEST(LoadMix, DuplicateRatioOneReplaysBasesVerbatim) {
+  Mix mix;
+  const std::string base = core::pdf1d_inputs().serialize();
+  mix.add("pdf1d", base);
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(mix.next(rng, 1.0), base);
+}
+
+TEST(LoadMix, DuplicateRatioZeroNeverRepeats) {
+  Mix mix;
+  const std::string base = core::pdf1d_inputs().serialize();
+  mix.add("pdf1d", base);
+  util::Rng rng(1);
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::string payload = mix.next(rng, 0.0);
+    EXPECT_NE(payload, base);
+    EXPECT_TRUE(seen.insert(payload).second) << "repeated payload";
+    // Variants must still be valid worksheets.
+    EXPECT_NO_THROW(core::RatInputs::parse(payload));
+  }
+}
+
+TEST(LoadMix, SameSeedSamePayloadStream) {
+  const std::string base = core::pdf1d_inputs().serialize();
+  Mix a, b;
+  a.add("pdf1d", base);
+  b.add("pdf1d", base);
+  util::Rng ra(9), rb(9);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.next(ra, 0.5), b.next(rb, 0.5));
+}
+
+}  // namespace
+}  // namespace rat::load

@@ -29,6 +29,7 @@
 
 #include "core/parameters.hpp"
 #include "io/json.hpp"
+#include "obs/metrics.hpp"
 #include "svc/fingerprint.hpp"
 #include "svc/service.hpp"
 
@@ -413,6 +414,35 @@ TEST(SvcRouter, ShutdownOpDrainsTheWholeFleet) {
   EXPECT_EQ(*ack, shutdown_response("bye"));
   runner.join();  // drain: workers EOF out, reaped, loop exits
   EXPECT_FALSE(client.read_line().has_value());
+}
+
+TEST(SvcRouter, DrainFlushesAggregatedFleetStatsIntoMetrics) {
+  obs::Registry::global().reset();
+  obs::set_enabled(true);
+  {
+    Router router(worker_fleet(2));
+    router.start();
+    Client client(router.port());
+    client.send_line(evaluate_line("a", core::pdf1d_inputs().serialize()));
+    ASSERT_TRUE(client.read_line().has_value());
+    client.send_line(evaluate_line("b", core::pdf1d_inputs().serialize()));
+    ASSERT_TRUE(client.read_line().has_value());
+    router.trigger_stop();
+    router.run();
+  }
+  obs::set_enabled(false);
+
+  // The drain-time sweep summed the workers' own counters into
+  // svc.fleet.* gauges before their stdins closed, so the --metrics
+  // export describes the whole fleet, not just the front-end. The two
+  // evaluates plus the sweep's own stats sub-requests all count.
+  const auto gauges = obs::Registry::global().gauges();
+  ASSERT_NE(gauges.find("svc.fleet.requests"), gauges.end());
+  EXPECT_GE(gauges.at("svc.fleet.requests"), 2.0);
+  EXPECT_EQ(gauges.at("svc.fleet.workers_alive"), 2.0);
+  ASSERT_NE(gauges.find("svc.fleet.cache.misses"), gauges.end());
+  EXPECT_GE(gauges.at("svc.fleet.cache.misses"), 1.0);
+  obs::Registry::global().reset();
 }
 
 }  // namespace
