@@ -8,7 +8,9 @@
 
 #include "apps/pdf1d.hpp"
 #include "apps/workload.hpp"
+#include "core/parameters.hpp"
 #include "core/precision.hpp"
+#include "core/units.hpp"
 
 namespace {
 
@@ -65,6 +67,19 @@ void print_report() {
   } else {
     std::printf("NO format within tolerance — unexpected, see sweep above\n");
   }
+
+  // The precision-vs-throughput trade-off: re-run Eqs. 1-11 across the
+  // whole sweep in one SoA batch (quantized_throughput_sweep), showing
+  // what each format's channel-rounded width does to predicted speedup.
+  const auto quantized = core::quantized_throughput_sweep(
+      core::pdf1d_inputs(), core::mhz(100), result.sweep);
+  std::printf("\n==== format -> channel bytes -> predicted speedup ====\n");
+  std::printf("%6s %8s %12s %12s\n", "bits", "bytes/el", "speedup_sb",
+              "speedup_db");
+  for (const auto& q : quantized)
+    std::printf("%6d %8.0f %12.2f %12.2f\n", q.format.total_bits,
+                q.bytes_per_element, q.prediction.speedup_sb,
+                q.prediction.speedup_db);
 }
 
 }  // namespace

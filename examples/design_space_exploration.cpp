@@ -10,21 +10,37 @@
 //
 // Usage: design_space_exploration [--goal=9] [--tolerance=2.0] [--threads=N]
 //                                 [--checkpoint=<path>] [--metrics=<path>]
+//                                 [--prune] [--plan-cache=<dir>]
+//                                 [--throttle-ms=N]
 //   --threads=0 sizes the worker count automatically (RAT_THREADS override
 //   or hardware concurrency); the outcome is identical at any thread count.
 //   --checkpoint records every evaluated permutation in a durable campaign
 //   checkpoint (docs/STORE.md); rerunning after a crash replays completed
 //   points and produces byte-identical output. Changing the goal,
 //   tolerance or axes makes an old checkpoint stale (E_STALE_CHECKPOINT).
+//   --prune routes the sweep through the branch-and-bound explorer
+//   (docs/EXPLORATION.md); stdout stays byte-identical, stderr gains the
+//   explore.* effort counters.
+//   --plan-cache persists every full evaluation in a content-addressed
+//   DurableStore keyed by candidate+requirements+device fingerprints, so
+//   a rerun — same campaign or an overlapping one — replays instead of
+//   recomputing. Survives kill -9 (it rides the store's journal).
+//   --throttle-ms sleeps that long inside each precision kernel run,
+//   slowing evaluations down so crash-recovery harnesses can interrupt a
+//   live campaign deterministically.
 //   --metrics (or the RAT_METRICS env var) writes a rat.metrics.v1 JSON
 //   document with designspace.* counters and evaluation timers.
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "apps/pdf1d.hpp"
 #include "apps/workload.hpp"
 #include "core/designspace.hpp"
 #include "core/units.hpp"
+#include "explore/explorer.hpp"
 #include "obs/metrics.hpp"
 #include "store/error.hpp"
 #include "util/cli.hpp"
@@ -37,6 +53,9 @@ int main(int argc, char** argv) {
   const double tolerance = cli.get_double("tolerance", 2.0);
   const std::size_t threads = cli.get_size_t("threads", 1, 0, 256);
   const std::string checkpoint_path = cli.get_or("checkpoint", "");
+  const bool prune = cli.get_bool("prune", false);
+  const std::string plan_cache_dir = cli.get_or("plan-cache", "");
+  const std::size_t throttle_ms = cli.get_size_t("throttle-ms", 0, 0, 60000);
 
   std::string metrics_path = cli.get_or("metrics", "");
   if (metrics_path.empty())
@@ -54,7 +73,7 @@ int main(int argc, char** argv) {
   axes.format_bits = {18};
 
   const core::CandidateFactory factory =
-      [&samples](const core::DesignPoint& p)
+      [&samples, throttle_ms](const core::DesignPoint& p)
       -> std::optional<core::DesignCandidate> {
     if (apps::Pdf1dConfig{}.n_bins % p.parallelism != 0)
       return std::nullopt;  // bins must divide across the pipelines
@@ -67,7 +86,9 @@ int main(int argc, char** argv) {
         3.0 * static_cast<double>(p.parallelism) * 0.83;
     c.precision_reference =
         apps::estimate_pdf1d_quadratic(samples, design.config());
-    c.precision_kernel = [design, &samples](fx::Format fmt) {
+    c.precision_kernel = [design, &samples, throttle_ms](fx::Format fmt) {
+      if (throttle_ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(throttle_ms));
       return design.estimate_with_format(samples, fmt);
     };
     c.resources = design.resource_items();
@@ -82,9 +103,30 @@ int main(int argc, char** argv) {
   core::DesignSpaceResult result;
   try {
     if (!checkpoint_path.empty()) ckpt.path = checkpoint_path;
-    result = core::explore_design_space(
-        axes, factory, req, rcsim::virtex4_lx100(), threads,
-        checkpoint_path.empty() ? nullptr : &ckpt);
+    if (prune || !plan_cache_dir.empty()) {
+      std::unique_ptr<explore::PlanCache> cache;
+      if (!plan_cache_dir.empty())
+        cache = std::make_unique<explore::PlanCache>(plan_cache_dir);
+      explore::ExploreOptions opt;
+      opt.policy.prune = prune;
+      opt.n_threads = threads;
+      opt.checkpoint = checkpoint_path.empty() ? nullptr : &ckpt;
+      opt.plan_cache = cache.get();
+      const auto explored = explore::explore_design_space_pruned(
+          axes, factory, req, rcsim::virtex4_lx100(), opt);
+      result = explored.design;
+      const auto& st = explored.stats;
+      std::fprintf(stderr,
+                   "explore: evaluated %zu bounded %zu restored %zu "
+                   "pruned %zu of %zu (cache hits %zu puts %zu)\n",
+                   st.points_evaluated, st.points_bounded,
+                   st.points_restored, st.points_pruned, st.points_total,
+                   st.cache_hits, st.cache_puts);
+    } else {
+      result = core::explore_design_space(
+          axes, factory, req, rcsim::virtex4_lx100(), threads,
+          checkpoint_path.empty() ? nullptr : &ckpt);
+    }
   } catch (const store::StoreError& e) {
     std::fprintf(stderr, "design_space_exploration: %s\n", e.what());
     return 1;

@@ -20,6 +20,10 @@ for b in build/bench/bench_*; do
       --json=BENCH_RAT.json ;;
     bench_batch_eval) "$b" --benchmark_min_time=0.05s \
       --json=build/bench_batch_eval.json ;;
+    # The branch-and-bound explorer's headline (identity + pruning win +
+    # warm plan cache), merged into BENCH_RAT.json and gated below.
+    bench_explore_pruning) "$b" --benchmark_min_time=0.05s \
+      --json=build/bench_explore.json ;;
     *) "$b" --benchmark_min_time=0.05s ;;
   esac
 done
@@ -73,6 +77,36 @@ print(f"serving headline: {step['achieved_rate_hz']:.0f} req/s achieved, "
 EOF
 rm -rf "$head_dir"
 
+# Exploration headline (docs/EXPLORATION.md): merge the explore.* metrics
+# from bench_explore_pruning into BENCH_RAT.json and gate on what the
+# explorer promises — a byte-identical result to the exhaustive sweep,
+# >= 10x fewer full gate-pipeline evaluations, and a warm plan cache
+# eliminating >= 90% of the evaluations a cold campaign needed.
+echo "==== exploration headline (bench_explore_pruning -> BENCH_RAT.json)"
+python3 - BENCH_RAT.json build/bench_explore.json <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+explore = json.load(open(sys.argv[2]))
+assert explore["schema"] == "rat.bench.v1", explore.get("schema")
+e = explore["metrics"]
+assert e["explore.identical"] == 1.0, e
+assert e["explore.evaluation_reduction"] >= 10.0, \
+    e["explore.evaluation_reduction"]
+assert e["explore.warm_elimination_ratio"] >= 0.9, \
+    e["explore.warm_elimination_ratio"]
+m = bench["metrics"]
+for k, v in e.items():
+    if k.startswith("explore."):
+        m[k] = float(v)
+bench["metrics"] = dict(sorted(m.items()))
+with open(sys.argv[1], "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+print(f"exploration headline: {e['explore.evaluation_reduction']:.0f}x fewer "
+      f"full evaluations on {e['explore.points_total']:.0f} points, "
+      f"{100 * e['explore.warm_elimination_ratio']:.0f}% warm elimination")
+EOF
+
 # The perf trajectory must exist and parse: a malformed or silently
 # missing BENCH_RAT.json would break the PR-over-PR comparison.
 echo "==== BENCH_RAT.json schema validation"
@@ -105,9 +139,10 @@ EOF
 echo "==== ThreadSanitizer pass (parallel + obs + service + store tests)"
 cmake -B build-tsan -G Ninja -DRAT_SANITIZE=thread
 cmake --build build-tsan --target test_parallel test_obs test_svc \
-  test_store test_batch test_load rat_serve rat_router rat_loadgen
+  test_store test_batch test_load test_explore rat_serve rat_router \
+  rat_loadgen
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism|Obs|Svc|Store|BatchIdentity|Load)'
+  -R '^(ThreadPool|ParallelFor|ParallelMap|ParallelDeterminism|Obs|Svc|Store|BatchIdentity|Load|Explore)'
 
 # ASan+UBSan pass over the worksheet ingestion path, the durable store,
 # the SIMD batch kernel and the prediction service: the io tests (strict
@@ -607,6 +642,41 @@ cmp "$crash_dir/plain.json" "$crash_dir/resumed.json"
 echo "crash-recovery OK: $(grep -o 'restored [0-9] of 4' \
   "$crash_dir/resume.err"), resumed JSON byte-identical"
 rm -rf "$crash_dir"
+
+# Plan-cache crash-recovery smoke (docs/EXPLORATION.md): a throttled
+# pruned campaign (tolerance far below what any format reaches, so every
+# throughput-passing point runs the full slow precision sweep and is
+# cached) is kill -9'd after the plan cache's journal holds at least one
+# complete evaluation, then rerun unthrottled on the same directory. The
+# rerun must replay cached evaluations (cache hits >= 1 on stderr) and
+# its stdout must be byte-for-byte identical to a cacheless clean run.
+echo "==== design_space_exploration kill -9 plan-cache resume smoke"
+plan_dir=$(mktemp -d)
+build/examples/design_space_exploration --goal=2 --tolerance=0.0001 \
+  >"$plan_dir/plain.out" 2>/dev/null
+build/examples/design_space_exploration --goal=2 --tolerance=0.0001 \
+  --prune --plan-cache="$plan_dir/cache" --throttle-ms=100 \
+  >/dev/null 2>&1 &
+explore_pid=$!
+for _ in $(seq 200); do
+  size=$(stat -c %s "$plan_dir/cache/journal" 2>/dev/null || echo 0)
+  [ "$size" -ge 350 ] && break
+  sleep 0.05
+done
+kill -9 "$explore_pid" 2>/dev/null || true
+wait "$explore_pid" 2>/dev/null || true
+build/examples/design_space_exploration --goal=2 --tolerance=0.0001 \
+  --prune --plan-cache="$plan_dir/cache" \
+  >"$plan_dir/resumed.out" 2>"$plan_dir/resumed.err"
+if ! grep -Eq 'cache hits [1-9]' "$plan_dir/resumed.err"; then
+  echo "design_space_exploration: resumed run replayed nothing"
+  cat "$plan_dir/resumed.err"
+  exit 1
+fi
+cmp "$plan_dir/plain.out" "$plan_dir/resumed.out"
+echo "plan-cache crash-recovery OK: $(grep -o 'cache hits [0-9]*' \
+  "$plan_dir/resumed.err"), resumed stdout byte-identical"
+rm -rf "$plan_dir"
 
 # Warm-start smoke (docs/STORE.md): a --cache-dir server is run twice
 # over stdio on the same directory; the second boot must warm-start the

@@ -11,14 +11,9 @@
 
 namespace rat::core {
 
-namespace {
-
-/// Campaign identity of one exploration: the swept axes plus everything
-/// the evaluation depends on (requirements + device). Any change makes an
-/// existing checkpoint stale rather than silently mixing two sweeps.
-std::uint64_t designspace_campaign_fingerprint(const DesignAxes& axes,
-                                               const Requirements& req,
-                                               const rcsim::Device& device) {
+std::uint64_t design_space_campaign_fingerprint(const DesignAxes& axes,
+                                                const Requirements& req,
+                                                const rcsim::Device& device) {
   store::Fnv1a fp;
   fp.add_string("rat.designspace.v1");
   fp.add_u64(axes.parallelism.size());
@@ -32,13 +27,28 @@ std::uint64_t designspace_campaign_fingerprint(const DesignAxes& axes,
   return fp.value();
 }
 
-}  // namespace
-
 std::string DesignPoint::label() const {
   return std::to_string(parallelism) + "x @ " +
          util::fixed(to_mhz(fclock_hz), 0) + " MHz / " +
          std::to_string(format_bits) + "-bit";
 }
+
+namespace {
+
+/// Ascending, duplicate-free axis check. Works for any ordered value type.
+template <typename T>
+void check_sorted_axis(const std::vector<T>& axis, const char* name) {
+  for (std::size_t k = 1; k < axis.size(); ++k) {
+    if (axis[k] == axis[k - 1])
+      throw std::invalid_argument(std::string("DesignAxes: duplicate ") +
+                                  name + " value");
+    if (axis[k] < axis[k - 1])
+      throw std::invalid_argument(std::string("DesignAxes: ") + name +
+                                  " axis not sorted ascending");
+  }
+}
+
+}  // namespace
 
 void DesignAxes::validate() const {
   if (parallelism.empty() || fclock_hz.empty() || format_bits.empty())
@@ -51,11 +61,27 @@ void DesignAxes::validate() const {
   for (int b : format_bits)
     if (b < 2 || b > 63)
       throw std::invalid_argument("DesignAxes: format bits outside [2,63]");
+  check_sorted_axis(parallelism, "parallelism");
+  check_sorted_axis(fclock_hz, "fclock_hz");
+  check_sorted_axis(format_bits, "format_bits");
+}
+
+std::size_t DesignAxes::size() const {
+  std::size_t n = parallelism.size();
+  if (__builtin_mul_overflow(n, fclock_hz.size(), &n) ||
+      __builtin_mul_overflow(n, format_bits.size(), &n))
+    throw std::overflow_error(
+        "DesignAxes::size: " + std::to_string(parallelism.size()) + " x " +
+        std::to_string(fclock_hz.size()) + " x " +
+        std::to_string(format_bits.size()) +
+        " grid points overflow std::size_t");
+  return n;
 }
 
 std::vector<DesignCandidate> enumerate_design_space(
     const DesignAxes& axes, const CandidateFactory& factory,
-    std::vector<std::string>* skipped_labels) {
+    std::vector<std::string>* skipped_labels,
+    std::vector<DesignPoint>* points) {
   axes.validate();
   if (!factory)
     throw std::invalid_argument("enumerate_design_space: null factory");
@@ -71,6 +97,7 @@ std::vector<DesignCandidate> enumerate_design_space(
         }
         if (cand->inputs.name.empty()) cand->inputs.name = point.label();
         cand->decision_clock_hz = f;
+        if (points) points->push_back(point);
         out.push_back(std::move(*cand));
       }
     }
@@ -103,9 +130,9 @@ DesignSpaceResult explore_design_space(const DesignAxes& axes,
   if (checkpoint != nullptr) {
     store::CampaignCheckpoint::Options opts;
     opts.sync_every_append = checkpoint->sync_every_append;
-    ckpt.emplace(checkpoint->path, "rat.designspace.v1",
-                 designspace_campaign_fingerprint(axes, requirements, device),
-                 opts);
+    ckpt.emplace(
+        checkpoint->path, "rat.designspace.v1",
+        design_space_campaign_fingerprint(axes, requirements, device), opts);
   }
   result.outcome =
       run_methodology(candidates, requirements, device, n_threads,

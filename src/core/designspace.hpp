@@ -28,16 +28,21 @@ struct DesignPoint {
   std::string label() const;
 };
 
-/// The axes to sweep. Empty axes are invalid (validate() throws).
+/// The axes to sweep. Each axis must be non-empty, sorted ascending and
+/// duplicate-free (validate() throws otherwise): duplicates would
+/// silently double-evaluate points and skew points_total, and the
+/// branch-and-bound explorer's corner bounds (docs/EXPLORATION.md) are
+/// only admissible over monotonically ordered axes.
 struct DesignAxes {
   std::vector<std::size_t> parallelism = {1, 2, 4, 8};
   std::vector<double> fclock_hz = {100e6, 150e6};
   std::vector<int> format_bits = {18};
 
   void validate() const;
-  std::size_t size() const {
-    return parallelism.size() * fclock_hz.size() * format_bits.size();
-  }
+  /// Number of grid points (the product of the axis lengths). Throws
+  /// std::overflow_error instead of silently wrapping when the product
+  /// does not fit std::size_t.
+  std::size_t size() const;
 };
 
 /// Builds a methodology candidate from a design point; return nullopt to
@@ -49,10 +54,14 @@ using CandidateFactory =
 /// parallelism, then clock, then format width (ascending). Points skipped
 /// by the factory have their labels appended to @p skipped_labels (in
 /// enumeration order) when it is non-null; the returned order is the
-/// evaluation order for run_methodology.
+/// evaluation order for run_methodology. @p points, when non-null,
+/// receives the design point behind each returned candidate (same order,
+/// same length) — the explorer uses it to map candidates back onto the
+/// axes grid without re-running the factory.
 std::vector<DesignCandidate> enumerate_design_space(
     const DesignAxes& axes, const CandidateFactory& factory,
-    std::vector<std::string>* skipped_labels = nullptr);
+    std::vector<std::string>* skipped_labels = nullptr,
+    std::vector<DesignPoint>* points = nullptr);
 
 /// Convenience: enumerate + run the methodology, returning the outcome
 /// plus exactly which points the factory skipped — so parallel and serial
@@ -93,5 +102,14 @@ DesignSpaceResult explore_design_space(
     const Requirements& requirements, const rcsim::Device& device,
     std::size_t n_threads = 1,
     const DesignSpaceCheckpoint* checkpoint = nullptr);
+
+/// Campaign identity of one exploration: the swept axes plus everything
+/// the evaluation depends on (requirements + device). Any change makes an
+/// existing checkpoint stale rather than silently mixing two sweeps.
+/// Shared by explore_design_space and the pruned explorer so their
+/// checkpoints are interchangeable.
+std::uint64_t design_space_campaign_fingerprint(const DesignAxes& axes,
+                                                const Requirements& req,
+                                                const rcsim::Device& device);
 
 }  // namespace rat::core

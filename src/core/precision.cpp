@@ -3,17 +3,23 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/batch.hpp"
 #include "util/format.hpp"
 #include "util/parallel_for.hpp"
 
 namespace rat::core {
 
-double PrecisionResult::bytes_per_element(double channel_word_bytes) const {
-  if (!choice) throw std::logic_error("bytes_per_element: no format chosen");
+double format_bytes_per_element(const fx::Format& format,
+                                double channel_word_bytes) {
   if (channel_word_bytes <= 0.0)
     throw std::invalid_argument("bytes_per_element: bad channel word");
-  const double raw_bytes = static_cast<double>(choice->format.total_bits) / 8.0;
+  const double raw_bytes = static_cast<double>(format.total_bits) / 8.0;
   return std::ceil(raw_bytes / channel_word_bytes) * channel_word_bytes;
+}
+
+double PrecisionResult::bytes_per_element(double channel_word_bytes) const {
+  if (!choice) throw std::logic_error("bytes_per_element: no format chosen");
+  return format_bytes_per_element(choice->format, channel_word_bytes);
 }
 
 util::Table PrecisionResult::to_table() const {
@@ -69,4 +75,34 @@ PrecisionResult run_precision_test(const fx::FixedKernel& kernel,
   return result;
 }
 
+std::vector<QuantizedThroughputPoint> quantized_throughput_sweep(
+    const RatInputs& inputs, double fclock_hz,
+    const std::vector<fx::PrecisionChoice>& sweep,
+    double channel_word_bytes) {
+  inputs.validate();
+  if (fclock_hz <= 0.0)
+    throw std::invalid_argument("quantized_throughput_sweep: fclock <= 0");
+  std::vector<QuantizedThroughputPoint> out;
+  out.reserve(sweep.size());
+  ThroughputBatch batch;
+  batch.reserve(sweep.size());
+  RatInputs scratch = inputs;
+  for (const fx::PrecisionChoice& c : sweep) {
+    QuantizedThroughputPoint point;
+    point.format = c.format;
+    point.bytes_per_element =
+        format_bytes_per_element(c.format, channel_word_bytes);
+    // Only bytes_per_element varies; the worksheet was validated above
+    // and the rounded width is positive, so the unchecked fill is safe.
+    scratch.dataset.bytes_per_element = point.bytes_per_element;
+    batch.push_back_unchecked(scratch, fclock_hz);
+    out.push_back(std::move(point));
+  }
+  predict_batch(batch);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i].prediction = batch.prediction(i);
+  return out;
+}
+
 }  // namespace rat::core
+

@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "core/parameters.hpp"
+#include "core/throughput.hpp"
 #include "fixedpoint/error_analysis.hpp"
 #include "util/table.hpp"
 
@@ -56,5 +58,34 @@ struct PrecisionResult {
 PrecisionResult run_precision_test(const fx::FixedKernel& kernel,
                                    std::span<const double> reference,
                                    const PrecisionRequirements& req);
+
+/// Bytes/element implied by one format, rounded up to whole channel words
+/// — the same rounding PrecisionResult::bytes_per_element applies to the
+/// chosen format.
+double format_bytes_per_element(const fx::Format& format,
+                                double channel_word_bytes = 4.0);
+
+/// One row of a quantization→throughput sweep: what the throughput test
+/// would predict if the design adopted this format's channel-rounded
+/// bytes/element.
+struct QuantizedThroughputPoint {
+  fx::Format format;
+  double bytes_per_element = 0.0;
+  ThroughputPrediction prediction;
+};
+
+/// Re-run the throughput test across every format of a precision sweep:
+/// for each entry the worksheet's dataset.bytes_per_element is replaced
+/// by the format's channel-rounded width and Eqs. 1-11 are evaluated —
+/// all formats in a single core::ThroughputBatch SoA pass, so the paper's
+/// precision-vs-throughput trade-off curve costs one batched sweep
+/// instead of a per-format predict() loop. Each prediction is
+/// bit-identical to predict() on the per-format worksheet (pinned by
+/// tests/core/batch_identity_test.cpp). @p inputs is validated once;
+/// sweep order is preserved.
+std::vector<QuantizedThroughputPoint> quantized_throughput_sweep(
+    const RatInputs& inputs, double fclock_hz,
+    const std::vector<fx::PrecisionChoice>& sweep,
+    double channel_word_bytes = 4.0);
 
 }  // namespace rat::core

@@ -20,6 +20,7 @@
 #include "core/methodology.hpp"
 #include "core/montecarlo.hpp"
 #include "core/parameters.hpp"
+#include "core/precision.hpp"
 #include "core/sensitivity.hpp"
 #include "core/throughput.hpp"
 #include "core/units.hpp"
@@ -371,6 +372,36 @@ TEST(BatchIdentityTornado, MatchesPerPointPredict) {
     EXPECT_EQ(e.speedup_low, std::min(s_lo, s_hi));
     EXPECT_EQ(e.speedup_high, std::max(s_lo, s_hi));
   }
+}
+
+// ---- quantization sweep ----------------------------------------------------
+
+TEST(BatchIdentitySweep, QuantizedThroughputSweepMatchesScalarLoop) {
+  // The precision-test trade-off curve is one SoA batch; each row must be
+  // bit-identical to the per-format scalar loop (copy worksheet, patch
+  // bytes/element, predict()).
+  const RatInputs in = pdf1d_inputs();
+  const double fclock = core::mhz(100);
+  std::vector<fx::PrecisionChoice> sweep;
+  for (int bits = 10; bits <= 24; ++bits)
+    sweep.push_back({fx::Format{bits, bits - 1, true}, {}});
+
+  const auto points = quantized_throughput_sweep(in, fclock, sweep);
+  ASSERT_EQ(points.size(), sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const double bytes = format_bytes_per_element(sweep[i].format);
+    EXPECT_EQ(points[i].bytes_per_element, bytes);
+    EXPECT_EQ(points[i].format.total_bits, sweep[i].format.total_bits);
+    RatInputs w = in;
+    w.dataset.bytes_per_element = bytes;
+    EXPECT_TRUE(same_bits(predict(w, fclock), points[i].prediction))
+        << "format " << sweep[i].format.total_bits << " bits";
+  }
+  // Channel rounding: 10..24 total bits on a 32-bit channel is 4 or 8
+  // bytes, never a fraction.
+  EXPECT_EQ(format_bytes_per_element(fx::Format{18, 17, true}), 4.0);
+  EXPECT_EQ(format_bytes_per_element(fx::Format{33, 17, true}, 4.0), 8.0);
+  EXPECT_EQ(format_bytes_per_element(fx::Format{12, 11, true}, 2.0), 2.0);
 }
 
 // ---- methodology windows ---------------------------------------------------

@@ -44,6 +44,60 @@ TEST(DesignAxes, Validation) {
   EXPECT_EQ((DesignAxes{}.size()), 8u);  // 4 x 2 x 1
 }
 
+TEST(DesignAxes, RejectsDuplicateAndUnsortedAxes) {
+  // Duplicates would double-evaluate points; unsorted axes break the
+  // explorer's corner bounds. Both are caught per axis.
+  DesignAxes axes;
+  axes.parallelism = {1, 2, 2, 4};
+  EXPECT_THROW(axes.validate(), std::invalid_argument);
+  axes = DesignAxes{};
+  axes.parallelism = {4, 2, 1};
+  EXPECT_THROW(axes.validate(), std::invalid_argument);
+  axes = DesignAxes{};
+  axes.fclock_hz = {mhz(150), mhz(100)};
+  EXPECT_THROW(axes.validate(), std::invalid_argument);
+  axes = DesignAxes{};
+  axes.fclock_hz = {mhz(100), mhz(100)};
+  EXPECT_THROW(axes.validate(), std::invalid_argument);
+  axes = DesignAxes{};
+  axes.format_bits = {18, 12};
+  EXPECT_THROW(axes.validate(), std::invalid_argument);
+  axes = DesignAxes{};
+  axes.format_bits = {12, 12};
+  EXPECT_THROW(axes.validate(), std::invalid_argument);
+}
+
+TEST(DesignAxes, SizeOverflowIsAStructuredError) {
+  // 2^21 * 2^21 * 2^22 = 2^64 wraps to 0 without the check.
+  DesignAxes axes;
+  axes.parallelism.assign(std::size_t{1} << 21, 1);
+  axes.fclock_hz.assign(std::size_t{1} << 21, 1.0);
+  axes.format_bits.assign(std::size_t{1} << 22, 18);
+  EXPECT_THROW((void)axes.size(), std::overflow_error);
+}
+
+TEST(DesignSpace, EnumerateReportsThePointBehindEachCandidate) {
+  DesignAxes axes;
+  axes.parallelism = {1, 3, 4};
+  axes.fclock_hz = {mhz(100), mhz(150)};
+  std::vector<std::string> skipped;
+  std::vector<DesignPoint> points;
+  const auto candidates = enumerate_design_space(
+      axes,
+      [](const DesignPoint& p) -> std::optional<DesignCandidate> {
+        if (p.parallelism == 3) return std::nullopt;
+        return simple_factory()(p);
+      },
+      &skipped, &points);
+  ASSERT_EQ(points.size(), candidates.size());
+  EXPECT_EQ(skipped.size(), 2u);
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    EXPECT_EQ(candidates[i].inputs.name, points[i].label());
+  EXPECT_EQ(points[0].parallelism, 1u);
+  EXPECT_EQ(points[2].parallelism, 4u);
+  EXPECT_DOUBLE_EQ(points[1].fclock_hz, mhz(150));
+}
+
 TEST(DesignSpace, EnumeratesCheapestFirst) {
   DesignAxes axes;
   axes.parallelism = {2, 8};
